@@ -1,0 +1,62 @@
+"""§5.4 ablation: why RETCON cannot repair intruder/yada/python.
+
+The contended values in these workloads are used to index into memory,
+so symbolic tracking degenerates into equality constraints that fail
+whenever the value actually changed.  This bench quantifies that:
+on the unrepairable workloads most RETCON aborts are constraint
+violations or conflicts on trained-down blocks, and the speedup stays
+close to the eager baseline — unlike the repairable workloads.
+"""
+
+from repro.analysis.report import format_table
+from repro.sim.runner import generate_and_baseline, run_workload
+
+from conftest import emit
+
+UNREPAIRABLE = ("intruder", "yada", "python")
+REPAIRABLE = ("python_opt", "genome-sz")
+
+
+def test_unrepairable_workloads(run_once, bench_params):
+    def sweep():
+        out = {}
+        for name in UNREPAIRABLE + REPAIRABLE:
+            _, seq = generate_and_baseline(name, **bench_params)
+            out[name] = (
+                run_workload(
+                    name, "eager", seq_cycles=seq, **bench_params
+                ),
+                run_workload(
+                    name, "retcon", seq_cycles=seq, **bench_params
+                ),
+            )
+        return out
+
+    results = run_once(sweep)
+    rows = [
+        (
+            name,
+            f"{eager.speedup:.1f}",
+            f"{retcon.speedup:.1f}",
+            f"{retcon.speedup / max(eager.speedup, 0.01):.1f}x",
+            retcon.aborts_by_reason.get("constraint", 0),
+        )
+        for name, (eager, retcon) in results.items()
+    ]
+    emit(
+        "§5.4: where repair does not help (speedup eager vs RETCON, "
+        "constraint-violation aborts)",
+        format_table(
+            ["workload", "eager", "retcon", "gain", "constraint aborts"],
+            rows,
+        ),
+    )
+
+    for name in UNREPAIRABLE:
+        eager, retcon = results[name]
+        gain = retcon.speedup / max(eager.speedup, 0.01)
+        assert gain < 2.5, (name, gain)  # little savings over abort
+    for name in REPAIRABLE:
+        eager, retcon = results[name]
+        gain = retcon.speedup / max(eager.speedup, 0.01)
+        assert gain > 2.0, (name, gain)

@@ -1,0 +1,26 @@
+"""Figure 1: scalability of the aggressive eager HTM on 32 processors.
+
+Paper shape: some workloads (genome, kmeans, ssca2, vacation-ish)
+obtain real speedups, but half the suite scales below ~5x — python in
+particular shows essentially no scaling.
+"""
+
+from repro.analysis.figures import figure1
+from repro.analysis.report import bar_chart
+
+from conftest import emit
+
+
+def test_figure1_baseline_scalability(run_once, bench_params):
+    series = run_once(figure1, **bench_params)
+    emit(
+        "Figure 1: Scalability of aggressive HTM on "
+        f"{bench_params['ncores']} processors (speedup over seq)",
+        bar_chart(series, max_value=bench_params["ncores"]),
+    )
+    # Paper shape assertions: python does not scale; at least one
+    # workload scales well; at least half the suite is below 8x.
+    assert series["python"] < 2.0
+    assert max(series.values()) > bench_params["ncores"] * 0.3
+    poor = [name for name, s in series.items() if s < 8.0]
+    assert len(poor) >= len(series) // 2

@@ -1,0 +1,30 @@
+"""Figure 3: scalability before/after the software restructurings.
+
+Paper shape: the ``_opt`` restructurings rescue intruder and vacation
+(5x/15x -> >20x); the ``-sz`` variants remain abort-bound on the
+baseline; python stays flat with or without ``_opt`` on the baseline
+system (its refcounts need RETCON).
+"""
+
+from repro.analysis.figures import figure3
+from repro.analysis.report import bar_chart
+
+from conftest import emit
+
+
+def test_figure3_software_restructurings(run_once, bench_params):
+    series = run_once(figure3, **bench_params)
+    emit(
+        "Figure 3: eager-baseline scalability, before/after software "
+        "optimizations",
+        bar_chart(series, max_value=bench_params["ncores"]),
+    )
+    # Restructuring rescues intruder and vacation on the baseline.
+    assert series["intruder_opt"] > 4 * series["intruder"]
+    assert series["vacation_opt"] > 1.5 * series["vacation"]
+    # The resizable hashtable reintroduces the bottleneck.
+    assert series["intruder_opt-sz"] < series["intruder_opt"] / 2
+    assert series["vacation_opt-sz"] < series["vacation_opt"] / 2
+    assert series["genome-sz"] < series["genome"]
+    # python does not scale on the baseline even restructured.
+    assert series["python_opt"] < 2.0

@@ -1,0 +1,30 @@
+"""Figure 4: execution-time breakdown on the eager baseline.
+
+Paper shape: the poorly-scaling workloads are conflict-bound (time
+stalled or in doomed transactions), except labyrinth (barrier /
+load-imbalance bound) and ssca2 (busy-bound: bad caching).
+"""
+
+from repro.analysis.figures import figure4
+from repro.analysis.report import breakdown_chart
+
+from conftest import emit
+
+
+def test_figure4_time_breakdown(run_once, bench_params):
+    breakdowns = run_once(figure4, **bench_params)
+    emit(
+        "Figure 4: time breakdown on the eager baseline",
+        breakdown_chart(breakdowns),
+    )
+    # Conflict-bound workloads.
+    for name in ("python", "python_opt", "genome-sz",
+                 "intruder_opt-sz", "vacation_opt-sz"):
+        assert breakdowns[name]["conflict"] > 0.4, name
+    # labyrinth is limited by load imbalance, not conflicts.
+    assert breakdowns["labyrinth"]["barrier"] > 0.2
+    assert breakdowns["labyrinth"]["conflict"] < 0.2
+    # ssca2 is busy-bound (bad caching, few conflicts).
+    assert breakdowns["ssca2"]["busy"] > 0.8
+    # The restructured, fixed-size variants are mostly busy.
+    assert breakdowns["intruder_opt"]["busy"] > 0.6

@@ -1,0 +1,92 @@
+"""Simulator throughput: the one bench where wall-clock time is the
+measurement (everything else measures *simulated* cycles).
+
+Useful for tracking performance regressions in the simulator itself:
+the interpreter executes a fixed conflict-free instruction mix and
+pytest-benchmark reports instructions per second.
+"""
+
+from repro.isa.instructions import Cond
+from repro.isa.program import Assembler
+from repro.isa.registers import R1, R2
+from repro.mem.memory import MainMemory
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.script import ThreadScript
+
+from conftest import emit
+
+INSTRUCTIONS_PER_TXN = 64
+TXNS_PER_CORE = 40
+NCORES = 4
+
+
+def build_machine(system: str) -> Machine:
+    scripts = []
+    for core in range(NCORES):
+        base = 0x10000 * (core + 1)  # disjoint: no conflicts
+        script = ThreadScript()
+        for _ in range(TXNS_PER_CORE):
+            asm = Assembler()
+            for i in range(INSTRUCTIONS_PER_TXN // 8):
+                addr = base + 8 * i
+                asm.load(R1, addr)
+                asm.addi(R1, R1, 1)
+                asm.store(R1, addr)
+                asm.movi(R2, i)
+                asm.cmp(R2, 3)
+                label = asm.fresh_label("skip")
+                asm.bcc(Cond.GT, label)
+                asm.nop(1)
+                asm.mark(label)
+            script.add_txn(asm.build())
+        scripts.append(script)
+    return Machine(
+        MachineConfig().with_cores(NCORES), system, scripts, MainMemory()
+    )
+
+
+def test_interpreter_throughput(benchmark):
+    total_instructions = (
+        NCORES * TXNS_PER_CORE * INSTRUCTIONS_PER_TXN
+    )
+
+    def run():
+        machine = build_machine("eager")
+        result = machine.run()
+        assert result.commits == NCORES * TXNS_PER_CORE
+        return result
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    mean = benchmark.stats["mean"]
+    ips = total_instructions / mean
+    emit(
+        "Simulator throughput",
+        f"{total_instructions} instructions in {mean * 1000:.0f} ms "
+        f"-> {ips / 1000:.0f}k simulated instructions/second (eager)",
+    )
+    # Guard against order-of-magnitude interpreter regressions.
+    assert ips > 20_000
+
+
+def test_retcon_overhead_vs_eager(benchmark):
+    """RETCON's per-access tracking hooks must not slow the simulator
+    down by more than ~3x on conflict-free code."""
+    import time
+
+    def timed(system):
+        machine = build_machine(system)
+        start = time.perf_counter()
+        machine.run()
+        return time.perf_counter() - start
+
+    def run():
+        return timed("eager"), timed("retcon")
+
+    eager_s, retcon_s = benchmark.pedantic(run, rounds=3, iterations=1)
+    emit(
+        "Simulator overhead of RETCON hooks",
+        f"eager {eager_s * 1000:.0f} ms vs retcon "
+        f"{retcon_s * 1000:.0f} ms (conflict-free workload)",
+    )
+    assert retcon_s < 4.0 * max(eager_s, 1e-9)

@@ -1,0 +1,50 @@
+"""Extension bench: scaling curves over core count.
+
+The paper's headline sentence — RETCON "transform[s] a
+transactionalized version of the reference python interpreter from a
+workload that exhibits no scaling to one that exhibits near-linear
+scaling on 32 cores" — implies a whole curve, not just the 32-core
+endpoint.  This bench sweeps 1..N cores for python_opt under eager and
+RETCON and checks the curve shapes: eager flat, RETCON monotonically
+rising, with the crossover at small core counts.
+"""
+
+from repro.analysis.sweeps import core_sweep, format_sweep
+
+from conftest import emit
+
+
+def test_python_opt_scaling_curve(run_once, bench_params):
+    core_counts = tuple(
+        n for n in (1, 2, 4, 8, 16, 32) if n <= bench_params["ncores"]
+    )
+
+    def sweep():
+        return {
+            system: core_sweep(
+                "python_opt",
+                system,
+                core_counts,
+                seed=bench_params["seed"],
+                scale=min(bench_params["scale"], 0.5),
+            )
+            for system in ("eager", "retcon")
+        }
+
+    curves = run_once(sweep)
+    emit(
+        "Scaling sweep: python_opt, eager vs RETCON",
+        format_sweep("python_opt", curves),
+    )
+
+    eager = [p.speedup for p in curves["eager"]]
+    retcon = [p.speedup for p in curves["retcon"]]
+
+    # Eager stays flat: the GIL-elided refcounts serialize it.
+    assert max(eager) < 3.0
+    # RETCON's curve rises with cores...
+    assert retcon[-1] > retcon[0] * 0.5 * len(core_counts)
+    # ...and ends far above eager.
+    assert retcon[-1] > 4 * eager[-1]
+    # They tie at one core (nothing to repair without concurrency).
+    assert abs(retcon[0] - eager[0]) < 0.3

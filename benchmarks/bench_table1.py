@@ -1,0 +1,18 @@
+"""Table 1: simulated machine configuration."""
+
+from repro.analysis.figures import table1
+from repro.analysis.report import format_table
+
+from conftest import emit
+
+
+def test_table1_machine_configuration(benchmark):
+    rows = benchmark(table1)
+    emit(
+        "Table 1: Simulated machine configuration",
+        format_table(["Parameter", "Value"], rows),
+    )
+    labels = {row[0] for row in rows}
+    assert {"Processor", "L1 cache", "L2 cache", "Memory",
+            "Permissions-only cache", "Coherence",
+            "RETCON structures"} <= labels

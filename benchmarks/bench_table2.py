@@ -1,0 +1,18 @@
+"""Table 2: workloads used in the RETCON evaluation."""
+
+from repro.analysis.figures import table2
+from repro.analysis.report import format_table
+from repro.workloads.registry import ALL_VARIANTS
+
+from conftest import emit
+
+
+def test_table2_workloads(benchmark):
+    rows = benchmark(table2)
+    emit(
+        "Table 2: Workloads used in RETCON evaluation",
+        format_table(["Workload", "Description", "Input"], rows),
+    )
+    names = {row[0] for row in rows}
+    assert set(ALL_VARIANTS) < names
+    assert "bayes" in names  # Table 3's first row (paper)

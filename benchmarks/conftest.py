@@ -1,0 +1,53 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it.  Knobs (environment variables):
+
+* ``REPRO_CORES`` — simulated core count (default 32, as in the paper).
+* ``REPRO_SCALE`` — per-thread work multiplier (default 0.5 for the
+  benchmark suite so a full run finishes in minutes; use 1.0 to match
+  the numbers recorded in EXPERIMENTS.md).
+* ``REPRO_SEED`` — workload generation seed (default 1).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def _env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def bench_params() -> dict:
+    return {
+        "ncores": _env_int("REPRO_CORES", 32),
+        "scale": _env_float("REPRO_SCALE", 0.5),
+        "seed": _env_int("REPRO_SEED", 1),
+    }
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an expensive simulation exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner
+
+
+def emit(title: str, body: str) -> None:
+    """Print a figure/table with a banner (shown with pytest -s or in
+    captured output on failure)."""
+    banner = "=" * max(len(title), 20)
+    print(f"\n{banner}\n{title}\n{banner}\n{body}\n")

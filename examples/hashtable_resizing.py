@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""The resizable-hashtable pattern (genome-sz / vacation_opt-sz).
+
+Inserting *different* keys into a hashtable is conceptually parallel,
+but a resizable table increments a shared ``size`` field and checks it
+against a threshold on every insert.  That one counter serializes an
+eager HTM; RETCON tracks it symbolically, folds each increment into a
+``(address, delta)`` pair, records the resize check as an interval
+constraint, and repairs at commit.
+
+This example builds the real chained hashtable in simulated memory,
+runs the same insert workload under the three systems at several core
+counts, and verifies the table afterwards (every node reachable, size
+field exact).
+
+Run:  python examples/hashtable_resizing.py
+"""
+
+from repro.isa.program import Assembler
+from repro.mem.allocator import BumpAllocator
+from repro.mem.memory import MainMemory
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.script import ThreadScript, concatenate
+from repro.workloads.base import make_rng
+from repro.workloads.structures import SimHashTable
+
+INSERTS_PER_THREAD = 30
+SYSTEMS = ("eager", "lazy-vb", "retcon")
+CORE_COUNTS = (1, 4, 16)
+
+
+def build(ncores: int, seed: int = 1):
+    memory = MainMemory()
+    alloc = BumpAllocator()
+    rng = make_rng(seed)
+    total = ncores * INSERTS_PER_THREAD
+    table = SimHashTable(
+        memory,
+        alloc,
+        nbuckets=64,
+        resizable=True,
+        initial_threshold=max(8, total // 4),
+    )
+    scripts = []
+    for _ in range(ncores):
+        script = ThreadScript()
+        for _ in range(INSERTS_PER_THREAD):
+            asm = Assembler()
+            asm.nop(150)  # compute the segment before touching the table
+            table.emit_insert(asm, rng.randrange(1 << 30))
+            script.add_txn(asm.build())
+            script.add_work(40)
+        scripts.append(script)
+    return memory, scripts, table
+
+
+def main() -> None:
+    header = f"{'cores':>5s} " + " ".join(
+        f"{system:>10s}" for system in SYSTEMS
+    )
+    print("Speedup over sequential (hashtable size field contended):")
+    print(header)
+    for ncores in CORE_COUNTS:
+        # Sequential baseline: same work on one core.
+        memory, scripts, _ = build(ncores)
+        seq_machine = Machine(
+            MachineConfig().with_cores(1),
+            "eager",
+            [concatenate(scripts)],
+            memory.clone(),
+        )
+        seq = seq_machine.run().cycles
+
+        row = [f"{ncores:5d}"]
+        for system in SYSTEMS:
+            memory, scripts, table = build(ncores)
+            machine = Machine(
+                MachineConfig().with_cores(ncores),
+                system,
+                scripts,
+                memory,
+            )
+            result = machine.run()
+            ok, detail = table.validate(memory)
+            assert ok, f"{system}: {detail}"
+            row.append(f"{seq / result.cycles:9.1f}x")
+        print(" ".join(row))
+    print(
+        "\nAll three systems keep the table exact (validated); only "
+        "RETCON\nkeeps scaling once the size field becomes the "
+        "bottleneck."
+    )
+
+
+if __name__ == "__main__":
+    main()

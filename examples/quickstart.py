@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: RETCON repairs a shared counter instead of aborting.
+
+Two cores each run transactions that increment a shared counter twice
+(the paper's Figure 2 scenario).  Under an eager HTM the transactions
+conflict and serialize through aborts/stalls; under RETCON the counter
+is tracked symbolically, stolen freely, and *repaired* at commit — so
+both cores commit concurrently and the final count is still exact.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.isa.program import Assembler
+from repro.isa.registers import R1
+from repro.mem.memory import MainMemory
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.script import ThreadScript
+
+COUNTER = 4096  # byte address of the shared counter
+TXNS_PER_CORE = 20
+NCORES = 8
+
+
+def increment_twice() -> "Assembler":
+    """A transaction that increments [COUNTER] twice, with some work
+    in between (the paper's Figure 2 kernel)."""
+    asm = Assembler()
+    for _ in range(2):
+        asm.load(R1, COUNTER)  # read the counter
+        asm.addi(R1, R1, 1)  # bump it
+        asm.store(R1, COUNTER)  # write it back
+        asm.nop(20)  # ... unrelated transaction work ...
+    return asm
+
+
+def run(system: str) -> None:
+    memory = MainMemory()
+    memory.write(COUNTER, 0)
+
+    scripts = []
+    for _core in range(NCORES):
+        script = ThreadScript()
+        for _ in range(TXNS_PER_CORE):
+            script.add_txn(increment_twice().build())
+            script.add_work(10)  # non-transactional gap
+        scripts.append(script)
+
+    machine = Machine(
+        MachineConfig().with_cores(NCORES), system, scripts, memory
+    )
+    result = machine.run()
+
+    expected = NCORES * TXNS_PER_CORE * 2
+    final = memory.read(COUNTER)
+    assert final == expected, f"lost updates! {final} != {expected}"
+    print(
+        f"{system:8s}: {result.cycles:7d} cycles, "
+        f"{result.commits} commits, {result.aborts:3d} aborts, "
+        f"counter = {final} (exact)"
+    )
+
+
+def main() -> None:
+    print(f"{NCORES} cores x {TXNS_PER_CORE} transactions x 2 increments")
+    print("-" * 60)
+    for system in ("eager", "lazy-vb", "retcon"):
+        run(system)
+    print(
+        "\nRETCON commits through the conflicts: after the predictor "
+        "trains\n(one conflict), the counter block is tracked "
+        "symbolically and every\ntransaction repairs its increments "
+        "against the commit-time value."
+    )
+
+
+if __name__ == "__main__":
+    main()

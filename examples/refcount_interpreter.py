@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""The paper's headline result: GIL-elided cpython under RETCON.
+
+``python_opt`` models the reference Python interpreter with the global
+interpreter lock speculatively elided: every transaction interprets a
+block of bytecodes, incref'ing/decref'ing hot shared objects (None,
+True, small ints — Zipf-distributed).  The reference counts are "a
+true data conflict" for every HTM, but they are pure load/add/store
+chains — exactly what RETCON repairs.
+
+This example uses the high-level workload API and prints the paper's
+comparison: no scaling on eager/lazy-vb, near-linear under RETCON.
+
+Run:  python examples/refcount_interpreter.py [ncores] [scale]
+"""
+
+import sys
+
+from repro.sim.runner import generate_and_baseline, run_workload
+
+
+def main() -> None:
+    ncores = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+
+    print(f"python_opt on {ncores} cores (scale={scale})")
+    print(f"{'system':10s} {'speedup':>8s} {'aborts':>7s} "
+          f"{'conflict%':>9s} {'refcounts':>10s}")
+    _, seq_cycles = generate_and_baseline(
+        "python_opt", ncores=ncores, scale=scale
+    )
+    for system in ("eager", "lazy-vb", "retcon"):
+        result = run_workload(
+            "python_opt",
+            system,
+            ncores=ncores,
+            scale=scale,
+            seq_cycles=seq_cycles,
+        )
+        refcounts = "exact" if result.invariants_ok else "BROKEN"
+        print(
+            f"{system:10s} {result.speedup:7.1f}x "
+            f"{result.aborts:7d} "
+            f"{100 * result.breakdown['conflict']:8.1f}% "
+            f"{refcounts:>10s}"
+        )
+    print(
+        "\nEvery incref/decref is repaired against the commit-time "
+        "refcount,\nso transactions that share None/True/small-ints "
+        "commit concurrently\nand the final counts are still exact."
+    )
+
+
+if __name__ == "__main__":
+    main()

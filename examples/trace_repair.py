@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Watching RETCON work: tracing steals and repairs.
+
+Attaches a :class:`repro.sim.trace.Tracer` to a RETCON machine running
+contended counter transactions and prints the event stream — begins,
+steals (a writer invalidating a tracked block), commit-time repairs,
+and the one predictor-training abort.
+
+Run:  python examples/trace_repair.py
+"""
+
+from repro.isa.program import Assembler
+from repro.isa.registers import R1
+from repro.mem.memory import MainMemory
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.script import ThreadScript
+from repro.sim.trace import Tracer
+
+COUNTER = 4096
+
+
+def main() -> None:
+    memory = MainMemory()
+    memory.write(COUNTER, 0)
+
+    scripts = []
+    for _core in range(2):
+        script = ThreadScript()
+        for _ in range(3):
+            asm = Assembler()
+            asm.load(R1, COUNTER)
+            asm.addi(R1, R1, 1)
+            asm.store(R1, COUNTER)
+            asm.nop(15)
+            script.add_txn(asm.build())
+            script.add_work(5)
+        scripts.append(script)
+
+    machine = Machine(
+        MachineConfig().with_cores(2), "retcon", scripts, memory
+    )
+    tracer = Tracer()
+    machine.system.tracer = tracer
+    machine.run()
+
+    print("event stream:")
+    for event in tracer:
+        print(f"  {event}")
+    print(f"\nsummary: {tracer.summary()}")
+    print(f"final counter: {memory.read(COUNTER)} (expected 6)")
+    assert memory.read(COUNTER) == 6
+
+
+if __name__ == "__main__":
+    main()

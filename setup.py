@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-use-pep517`` in offline environments
+that lack the ``wheel`` package; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

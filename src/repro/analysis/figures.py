@@ -1,0 +1,262 @@
+"""Data series for every table and figure in the paper's evaluation.
+
+Each ``figureN``/``tableN`` function runs the required simulations and
+returns plain data (dicts) that the benchmark harness prints.  Results
+within one invocation share generated workloads and sequential
+baselines via :func:`run_matrix`.
+
+The sizes are controlled by ``scale`` (per-thread work multiplier) and
+``ncores``; the defaults match the paper's 32-core configuration with
+inputs scaled to finish in minutes of wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.sim.config import MachineConfig
+from repro.sim.runner import (
+    WorkloadResult,
+    generate_and_baseline,
+    run_workload,
+)
+from repro.workloads.registry import (
+    ALL_VARIANTS,
+    FIGURE1_WORKLOADS,
+    TABLE3_WORKLOADS,
+)
+
+#: the three systems compared throughout the evaluation (Figures 9/10)
+EVAL_SYSTEMS = ("eager", "lazy-vb", "retcon")
+
+
+def run_matrix(
+    workloads: Sequence[str],
+    systems: Sequence[str],
+    ncores: int = 32,
+    seed: int = 1,
+    scale: float = 1.0,
+    config: MachineConfig | None = None,
+) -> dict[tuple[str, str], WorkloadResult]:
+    """Run every (workload, system) pair, sharing sequential baselines."""
+    results: dict[tuple[str, str], WorkloadResult] = {}
+    for name in workloads:
+        _, seq_cycles = generate_and_baseline(
+            name, ncores=ncores, seed=seed, scale=scale, config=config
+        )
+        for system in systems:
+            results[(name, system)] = run_workload(
+                name,
+                system,
+                ncores=ncores,
+                seed=seed,
+                scale=scale,
+                config=config,
+                seq_cycles=seq_cycles,
+            )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: scalability of the aggressive eager HTM on the 8 base workloads
+# ---------------------------------------------------------------------------
+def figure1(
+    ncores: int = 32, seed: int = 1, scale: float = 1.0
+) -> dict[str, float]:
+    matrix = run_matrix(
+        FIGURE1_WORKLOADS, ("eager",), ncores=ncores, seed=seed, scale=scale
+    )
+    return {
+        name: matrix[(name, "eager")].speedup
+        for name in FIGURE1_WORKLOADS
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: the qualitative comparison on the double-increment counter
+# ---------------------------------------------------------------------------
+@dataclass
+class Figure2Point:
+    system: str
+    cycles: int
+    commits: int
+    aborts: int
+    stall_events: int
+
+
+FIGURE2_SYSTEMS = ("retcon", "datm", "eager-abort", "eager-stall", "lazy")
+
+
+def figure2(
+    txns_per_core: int = 4, increments: int = 2
+) -> dict[str, Figure2Point]:
+    """Two cores repeatedly double-incrementing a shared counter."""
+    from repro.isa.program import Assembler
+    from repro.isa.registers import R1
+    from repro.mem.memory import MainMemory
+    from repro.sim.machine import Machine
+    from repro.sim.script import ThreadScript
+
+    results = {}
+    for system in FIGURE2_SYSTEMS:
+        memory = MainMemory()
+        addr = 4096
+        scripts = []
+        for _core in range(2):
+            script = ThreadScript()
+            for _ in range(txns_per_core):
+                asm = Assembler()
+                for _ in range(increments):
+                    asm.load(R1, addr)
+                    asm.addi(R1, R1, 1)
+                    asm.store(R1, addr)
+                    asm.nop(5)
+                script.add_txn(asm.build())
+                script.add_work(3)
+            scripts.append(script)
+        machine = Machine(
+            MachineConfig(ncores=2), system, scripts, memory
+        )
+        run = machine.run()
+        expected = 2 * txns_per_core * increments
+        actual = memory.read(addr)
+        if actual != expected:
+            raise AssertionError(
+                f"{system}: counter {actual} != {expected}"
+            )
+        results[system] = Figure2Point(
+            system=system,
+            cycles=run.cycles,
+            commits=run.commits,
+            aborts=run.aborts,
+            stall_events=sum(
+                c.stall_events for c in run.stats.cores
+            ),
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 / Figure 4: eager baseline across all 14 variants
+# ---------------------------------------------------------------------------
+def figure3(
+    ncores: int = 32,
+    seed: int = 1,
+    scale: float = 1.0,
+    matrix: Mapping[tuple[str, str], WorkloadResult] | None = None,
+) -> dict[str, float]:
+    matrix = matrix or run_matrix(
+        ALL_VARIANTS, ("eager",), ncores=ncores, seed=seed, scale=scale
+    )
+    return {name: matrix[(name, "eager")].speedup for name in ALL_VARIANTS}
+
+
+def figure4(
+    ncores: int = 32,
+    seed: int = 1,
+    scale: float = 1.0,
+    matrix: Mapping[tuple[str, str], WorkloadResult] | None = None,
+) -> dict[str, dict[str, float]]:
+    matrix = matrix or run_matrix(
+        ALL_VARIANTS, ("eager",), ncores=ncores, seed=seed, scale=scale
+    )
+    return {
+        name: matrix[(name, "eager")].breakdown for name in ALL_VARIANTS
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 / Figure 10 / Table 3: the full three-system comparison
+# ---------------------------------------------------------------------------
+def figure9(
+    ncores: int = 32,
+    seed: int = 1,
+    scale: float = 1.0,
+    workloads: Sequence[str] = ALL_VARIANTS,
+    matrix: Mapping[tuple[str, str], WorkloadResult] | None = None,
+) -> dict[str, dict[str, float]]:
+    matrix = matrix or run_matrix(
+        workloads, EVAL_SYSTEMS, ncores=ncores, seed=seed, scale=scale
+    )
+    return {
+        name: {
+            system: matrix[(name, system)].speedup
+            for system in EVAL_SYSTEMS
+        }
+        for name in workloads
+    }
+
+
+def figure10(
+    ncores: int = 32,
+    seed: int = 1,
+    scale: float = 1.0,
+    workloads: Sequence[str] = ALL_VARIANTS,
+    matrix: Mapping[tuple[str, str], WorkloadResult] | None = None,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Breakdowns plus runtimes normalized to the eager configuration."""
+    matrix = matrix or run_matrix(
+        workloads, EVAL_SYSTEMS, ncores=ncores, seed=seed, scale=scale
+    )
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for name in workloads:
+        eager_cycles = matrix[(name, "eager")].cycles or 1
+        out[name] = {
+            system: {
+                "breakdown": matrix[(name, system)].breakdown,
+                "normalized_runtime": (
+                    matrix[(name, system)].cycles / eager_cycles
+                ),
+            }
+            for system in EVAL_SYSTEMS
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+def table1(config: MachineConfig | None = None) -> list[tuple[str, str]]:
+    return (config or MachineConfig()).rows()
+
+
+def table2() -> list[tuple[str, str, str]]:
+    from repro.workloads.registry import WORKLOADS
+
+    return [
+        (w.spec.name, w.spec.description, w.spec.parameters)
+        for name, w in sorted(WORKLOADS.items())
+    ]
+
+
+def table3(
+    ncores: int = 32,
+    seed: int = 1,
+    scale: float = 1.0,
+    workloads: Sequence[str] = TABLE3_WORKLOADS,
+    matrix: Mapping[tuple[str, str], WorkloadResult] | None = None,
+) -> dict[str, dict[str, object]]:
+    """RETCON structure utilization (avg and max per transaction).
+
+    Includes ``bayes`` by default (the paper's Table 3 does), unless a
+    precomputed matrix restricts the rows.
+    """
+    if matrix is not None:
+        workloads = [
+            name
+            for name in workloads
+            if (name, "retcon") in matrix
+        ]
+    else:
+        matrix = run_matrix(
+            workloads, ("retcon",), ncores=ncores, seed=seed,
+            scale=scale,
+        )
+    out = {}
+    for name in workloads:
+        result = matrix[(name, "retcon")]
+        row: dict[str, object] = dict(result.table3)
+        row["commit_stall_percent"] = result.commit_stall_percent
+        out[name] = row
+    return out

@@ -1,0 +1,96 @@
+"""ASCII rendering of tables and bar charts."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render a simple aligned text table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def bar_chart(
+    series: Mapping[str, float],
+    title: str = "",
+    width: int = 50,
+    unit: str = "x",
+    max_value: float | None = None,
+) -> str:
+    """Horizontal ASCII bar chart (one bar per entry)."""
+    if not series:
+        return title
+    peak = max_value or max(series.values()) or 1.0
+    label_width = max(len(label) for label in series)
+    lines = [title] if title else []
+    for label, value in series.items():
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+            f"{value:6.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+_BREAKDOWN_GLYPHS = {
+    "busy": "B",
+    "conflict": "C",
+    "barrier": "=",
+    "other": "o",
+}
+
+
+def breakdown_chart(
+    breakdowns: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    width: int = 50,
+    scales: Mapping[str, float] | None = None,
+) -> str:
+    """Stacked execution-time breakdown bars (Figures 4 and 10).
+
+    ``scales`` optionally scales each bar's total length (e.g. runtime
+    normalized to the eager configuration, as in Figure 10).
+    """
+    label_width = max((len(label) for label in breakdowns), default=0)
+    lines = [title] if title else []
+    legend = ", ".join(
+        f"{glyph}={name}" for name, glyph in _BREAKDOWN_GLYPHS.items()
+    )
+    lines.append(f"  [{legend}]")
+    for label, breakdown in breakdowns.items():
+        scale = (scales or {}).get(label, 1.0)
+        bar = ""
+        for name, glyph in _BREAKDOWN_GLYPHS.items():
+            segment = int(round(width * scale * breakdown.get(name, 0.0)))
+            bar += glyph * segment
+        lines.append(f"{label.ljust(label_width)} |{bar}")
+    return "\n".join(lines)
+
+
+def format_speedup_matrix(
+    matrix: Mapping[str, Mapping[str, float]],
+    systems: Sequence[str],
+    title: str = "",
+) -> str:
+    """Workload x system speedup table (Figure 9's data)."""
+    rows = [
+        [name] + [f"{matrix[name].get(system, 0.0):.1f}" for system in systems]
+        for name in matrix
+    ]
+    table = format_table(["workload"] + list(systems), rows)
+    return f"{title}\n{table}" if title else table

@@ -1,0 +1,106 @@
+"""Scaling sweeps: speedup as a function of core count.
+
+The paper reports single 32-core numbers; the sweep utilities here
+produce the full scaling curve (1..N cores) for any workload and
+system, which is how Figure 9's "near-linear scaling" claim is
+visualized and how crossover points between systems are located.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.sim.config import MachineConfig
+from repro.sim.runner import generate_and_baseline, run_workload
+
+DEFAULT_CORE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass
+class SweepPoint:
+    ncores: int
+    speedup: float
+    aborts: int
+    conflict_fraction: float
+
+
+def core_sweep(
+    workload: str,
+    system: str,
+    core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
+    seed: int = 1,
+    scale: float = 1.0,
+    config: MachineConfig | None = None,
+) -> list[SweepPoint]:
+    """Run *workload* on *system* at each core count.
+
+    The workload is regenerated per core count (its total work grows
+    with the thread count, as in STAMP's self-scaling harness), and
+    each point is normalized against its own sequential baseline.
+    """
+    points = []
+    for ncores in core_counts:
+        _, seq_cycles = generate_and_baseline(
+            workload, ncores=ncores, seed=seed, scale=scale,
+            config=config,
+        )
+        result = run_workload(
+            workload, system, ncores=ncores, seed=seed, scale=scale,
+            config=config, seq_cycles=seq_cycles,
+        )
+        points.append(
+            SweepPoint(
+                ncores=ncores,
+                speedup=result.speedup,
+                aborts=result.aborts,
+                conflict_fraction=result.breakdown["conflict"],
+            )
+        )
+    return points
+
+
+def crossover_core_count(
+    workload: str,
+    better: str,
+    worse: str,
+    core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
+    advantage: float = 1.25,
+    seed: int = 1,
+    scale: float = 1.0,
+) -> int | None:
+    """Smallest core count where *better* outruns *worse* by
+    *advantage*; None if it never does.
+
+    Used to answer "how many cores before RETCON pays off?" — at one
+    core there are no conflicts to repair, so the systems tie; the
+    crossover marks where conflict frequency makes repair matter.
+    """
+    better_curve = core_sweep(
+        workload, better, core_counts, seed=seed, scale=scale
+    )
+    worse_curve = core_sweep(
+        workload, worse, core_counts, seed=seed, scale=scale
+    )
+    for b, w in zip(better_curve, worse_curve):
+        if b.speedup >= advantage * max(w.speedup, 1e-9):
+            return b.ncores
+    return None
+
+
+def format_sweep(
+    workload: str,
+    curves: dict[str, list[SweepPoint]],
+) -> str:
+    """Render sweep curves as an aligned text table."""
+    from repro.analysis.report import format_table
+
+    core_counts = [p.ncores for p in next(iter(curves.values()))]
+    headers = ["cores"] + [f"{name}" for name in curves]
+    rows = []
+    for i, ncores in enumerate(core_counts):
+        rows.append(
+            [ncores]
+            + [f"{curve[i].speedup:.1f}x" for curve in curves.values()]
+        )
+    return f"{workload}\n" + format_table(headers, rows)

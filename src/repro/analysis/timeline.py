@@ -1,0 +1,103 @@
+"""ASCII execution timelines — the form of the paper's Figure 2.
+
+Renders one lane per core from a :class:`~repro.sim.trace.Tracer`
+whose events carry cycle timestamps (the Machine wires the system's
+clock automatically).  Glyphs::
+
+    B  transaction begin          A  abort
+    C  commit                     S  tracked block stolen
+    R  commit-time repair         F  value forwarded (DATM/hybrid)
+"""
+
+from __future__ import annotations
+
+from repro.sim.trace import Tracer
+
+_GLYPHS = {
+    "begin": "B",
+    "commit": "C",
+    "abort": "A",
+    "steal": "S",
+    "repair": "R",
+    "forward": "F",
+}
+
+
+def render_timeline(
+    tracer: Tracer, ncores: int, width: int = 72
+) -> str:
+    """Render the trace as per-core lanes scaled to *width* columns.
+
+    Later events overwrite earlier ones that land on the same column;
+    commits and aborts take precedence so the lane's story stays
+    readable at coarse scales.
+    """
+    stamped = [
+        event
+        for event in tracer
+        if "cycle" in event.detail and event.kind in _GLYPHS
+    ]
+    if not stamped:
+        return "(no timestamped events)"
+    span = max(event.detail["cycle"] for event in stamped) or 1
+
+    precedence = {"C": 3, "A": 3, "B": 2, "R": 1, "S": 1, "F": 1}
+    lanes = [["."] * (width + 1) for _ in range(ncores)]
+    for event in stamped:
+        column = min(width, event.detail["cycle"] * width // span)
+        glyph = _GLYPHS[event.kind]
+        current = lanes[event.core][column]
+        if current == "." or precedence[glyph] >= precedence.get(
+            current, 0
+        ):
+            lanes[event.core][column] = glyph
+
+    legend = "  ".join(
+        f"{glyph}={kind}" for kind, glyph in _GLYPHS.items()
+    )
+    lines = [f"cycles 0..{span}   [{legend}]"]
+    for core, lane in enumerate(lanes):
+        if any(c != "." for c in lane):
+            lines.append(f"core {core}: {''.join(lane)}")
+    return "\n".join(lines)
+
+
+def figure2_timelines(
+    txns_per_core: int = 2, increments: int = 2, width: int = 72
+) -> dict[str, str]:
+    """Run the Figure 2 scenario on each system with tracing and
+    return the rendered timeline per system."""
+    from repro.analysis.figures import FIGURE2_SYSTEMS
+    from repro.isa.program import Assembler
+    from repro.isa.registers import R1
+    from repro.mem.memory import MainMemory
+    from repro.sim.config import MachineConfig
+    from repro.sim.machine import Machine
+    from repro.sim.script import ThreadScript
+
+    timelines = {}
+    for system in FIGURE2_SYSTEMS:
+        memory = MainMemory()
+        addr = 4096
+        scripts = []
+        for _core in range(2):
+            script = ThreadScript()
+            for _ in range(txns_per_core):
+                asm = Assembler()
+                for _ in range(increments):
+                    asm.load(R1, addr)
+                    asm.addi(R1, R1, 1)
+                    asm.store(R1, addr)
+                    asm.nop(5)
+                script.add_txn(asm.build())
+                script.add_work(3)
+            scripts.append(script)
+        machine = Machine(
+            MachineConfig(ncores=2), system, scripts, memory
+        )
+        tracer = Tracer()
+        machine.system.tracer = tracer
+        machine.run()
+        timelines[system] = render_timeline(tracer, ncores=2,
+                                            width=width)
+    return timelines

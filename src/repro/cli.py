@@ -1,0 +1,298 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro list
+    python -m repro run genome-sz --system retcon --cores 16
+    python -m repro compare python_opt --cores 32 --scale 0.5
+    python -m repro figure 9 --scale 0.3
+    python -m repro table 3
+    python -m repro experiments --scale 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import figures as fig
+from repro.analysis.report import (
+    bar_chart,
+    breakdown_chart,
+    format_speedup_matrix,
+    format_table,
+)
+from repro.sim.runner import generate_and_baseline, run_workload
+from repro.workloads.registry import ALL_VARIANTS, WORKLOADS
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cores", type=int, default=32)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _cmd_list(_args) -> int:
+    print("Workloads (Table 2):")
+    for name in ALL_VARIANTS:
+        print(f"  {name:18s} {WORKLOADS[name].spec.description}")
+    print("\nTM systems: eager, eager-abort, eager-stall, lazy, "
+          "lazy-vb, datm, retcon")
+    return 0
+
+
+def _print_result(result) -> None:
+    print(f"workload:  {result.workload}")
+    print(f"system:    {result.system}")
+    print(f"cores:     {result.ncores}")
+    print(f"cycles:    {result.cycles} (sequential: {result.seq_cycles})")
+    print(f"speedup:   {result.speedup:.2f}x")
+    print(f"commits:   {result.commits}")
+    print(f"aborts:    {result.aborts} {result.aborts_by_reason}")
+    breakdown = ", ".join(
+        f"{k}={v:.1%}" for k, v in result.breakdown.items()
+    )
+    print(f"breakdown: {breakdown}")
+    if result.commit_stall_percent:
+        print(f"pre-commit repair: {result.commit_stall_percent:.1f}% "
+              "of txn lifetime")
+    if len(result.by_label) > 1:
+        for label, (commits, aborts) in sorted(result.by_label.items()):
+            print(f"  txn[{label}]: {commits} commits, "
+                  f"{aborts} aborted attempts")
+    for inv in result.invariants:
+        status = "ok" if inv.ok else "FAILED"
+        print(f"invariant [{inv.name}]: {status} — {inv.detail}")
+
+
+def _cmd_run(args) -> int:
+    result = run_workload(
+        args.workload,
+        args.system,
+        ncores=args.cores,
+        seed=args.seed,
+        scale=args.scale,
+    )
+    _print_result(result)
+    return 0 if result.invariants_ok else 1
+
+
+def _cmd_compare(args) -> int:
+    systems = args.systems.split(",")
+    _, seq = generate_and_baseline(
+        args.workload, ncores=args.cores, seed=args.seed,
+        scale=args.scale,
+    )
+    rows = []
+    ok = True
+    for system in systems:
+        result = run_workload(
+            args.workload, system, ncores=args.cores, seed=args.seed,
+            scale=args.scale, seq_cycles=seq,
+        )
+        ok = ok and result.invariants_ok
+        rows.append(
+            (
+                system,
+                f"{result.speedup:.2f}x",
+                result.aborts,
+                f"{result.breakdown['conflict']:.1%}",
+                "ok" if result.invariants_ok else "FAILED",
+            )
+        )
+    print(f"{args.workload} on {args.cores} cores "
+          f"(seq = {seq} cycles)")
+    print(
+        format_table(
+            ["system", "speedup", "aborts", "conflict", "invariants"],
+            rows,
+        )
+    )
+    return 0 if ok else 1
+
+
+def _cmd_figure(args) -> int:
+    params = dict(ncores=args.cores, seed=args.seed, scale=args.scale)
+    number = args.number
+    if number == 1:
+        print(bar_chart(fig.figure1(**params), max_value=args.cores,
+                        title="Figure 1: eager HTM scalability"))
+    elif number == 2:
+        from repro.analysis.timeline import figure2_timelines
+
+        points = fig.figure2()
+        print(format_table(
+            ["system", "cycles", "commits", "aborts", "stalls"],
+            [(p.system, p.cycles, p.commits, p.aborts, p.stall_events)
+             for p in points.values()],
+        ))
+        for system, timeline in figure2_timelines().items():
+            print(f"\n--- {system} ---\n{timeline}")
+    elif number == 3:
+        print(bar_chart(fig.figure3(**params), max_value=args.cores,
+                        title="Figure 3: before/after restructurings"))
+    elif number == 4:
+        print(breakdown_chart(fig.figure4(**params),
+                              title="Figure 4: time breakdown (eager)"))
+    elif number == 9:
+        print(format_speedup_matrix(
+            fig.figure9(**params), fig.EVAL_SYSTEMS,
+            title="Figure 9: speedup over sequential",
+        ))
+    elif number == 10:
+        data = fig.figure10(**params)
+        flat, scales = {}, {}
+        for name, systems in data.items():
+            for system, payload in systems.items():
+                label = f"{name}/{system}"
+                flat[label] = payload["breakdown"]
+                scales[label] = min(payload["normalized_runtime"], 1.5)
+        print(breakdown_chart(
+            flat, scales=scales,
+            title="Figure 10: breakdown normalized to eager",
+        ))
+    else:
+        print(f"no such figure: {number} (have 1, 2, 3, 4, 9, 10)",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_table(args) -> int:
+    number = args.number
+    if number == 1:
+        print(format_table(["Parameter", "Value"], fig.table1()))
+    elif number == 2:
+        print(format_table(["Workload", "Description", "Input"],
+                           fig.table2()))
+    elif number == 3:
+        data = fig.table3(
+            ncores=args.cores, seed=args.seed, scale=args.scale
+        )
+        rows = []
+        for name, row in data.items():
+            cells = [name]
+            for column in (
+                "blocks_lost", "blocks_tracked", "symbolic_registers",
+                "private_stores", "constraint_addresses",
+                "commit_cycles",
+            ):
+                avg, peak = row[column]
+                cells.append(f"{avg:.1f} ({peak:.0f})")
+            cells.append(f"{row['commit_stall_percent']:.1f}")
+            rows.append(cells)
+        print(format_table(
+            ["workload", "lost", "tracked", "sym regs", "priv stores",
+             "constr addrs", "commit cyc", "stall %"],
+            rows,
+        ))
+    else:
+        print(f"no such table: {number} (have 1, 2, 3)",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.analysis.sweeps import core_sweep, format_sweep
+
+    core_counts = tuple(
+        int(n) for n in args.core_counts.split(",")
+    )
+    curves = {
+        system: core_sweep(
+            args.workload, system, core_counts,
+            seed=args.seed, scale=args.scale,
+        )
+        for system in args.systems.split(",")
+    }
+    print(format_sweep(args.workload, curves))
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.analysis.experiments import main as experiments_main
+
+    argv = ["--cores", str(args.cores), "--scale", str(args.scale),
+            "--seed", str(args.seed), "-o", args.output]
+    return experiments_main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "RETCON reproduction: simulate the paper's workloads and "
+            "regenerate its tables and figures."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and systems")
+
+    run = sub.add_parser("run", help="run one workload on one system")
+    run.add_argument("workload", choices=sorted(WORKLOADS))
+    run.add_argument("--system", default="retcon")
+    _add_run_args(run)
+
+    compare = sub.add_parser(
+        "compare", help="run one workload on several systems"
+    )
+    compare.add_argument("workload", choices=sorted(WORKLOADS))
+    compare.add_argument(
+        "--systems", default="eager,lazy-vb,retcon",
+        help="comma-separated system list",
+    )
+    _add_run_args(compare)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int)
+    _add_run_args(figure)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int)
+    _add_run_args(table)
+
+    experiments = sub.add_parser(
+        "experiments", help="run everything and write EXPERIMENTS.md"
+    )
+    experiments.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    _add_run_args(experiments)
+
+    sweep = sub.add_parser(
+        "sweep", help="speedup vs core count for one workload"
+    )
+    sweep.add_argument("workload", choices=sorted(WORKLOADS))
+    sweep.add_argument(
+        "--systems", default="eager,retcon",
+        help="comma-separated system list",
+    )
+    sweep.add_argument(
+        "--core-counts", default="1,2,4,8,16,32",
+        help="comma-separated core counts",
+    )
+    sweep.add_argument("--scale", type=float, default=0.5)
+    sweep.add_argument("--seed", type=int, default=1)
+
+    return parser
+
+
+COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "figure": _cmd_figure,
+    "table": _cmd_table,
+    "experiments": _cmd_experiments,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,11 @@
+"""Directory-based coherence model.
+
+Provides latency charging for memory accesses, tracks which cores hold
+which blocks, performs remote invalidations/downgrades, and maintains
+the speculative read/written bits that the HTM layer uses for conflict
+detection (paper §2, "Conflict detection").
+"""
+
+from repro.coherence.directory import AccessOutcome, CoherenceFabric
+
+__all__ = ["CoherenceFabric", "AccessOutcome"]

@@ -1,0 +1,288 @@
+"""Directory-based coherence protocol with latency charging.
+
+The fabric is the single source of truth for:
+
+* which cores hold a block, and who (if anyone) holds it exclusively;
+* per-core L1 / L2 / permissions-only caches (capacity modeling);
+* the speculative read/written bits used for HTM conflict detection.
+
+Latency model (Table 1): L1 hit 1 cycle; L2 hit 10 cycles; a directory
+hop costs 20 cycles; DRAM lookup costs 100 cycles.  A miss serviced by
+a remote cache costs ``L2 + 3 hops`` (request to directory, forward to
+owner, data to requester); a miss serviced by memory costs
+``L2 + 2 hops + DRAM``; an upgrade (S→M) costs ``L2 + 2 hops``.
+
+The HTM layer resolves conflicts *before* asking the fabric to perform
+an access, so by the time :meth:`CoherenceFabric.acquire` invalidates a
+remote copy, any speculative bits on it have either been cleared (the
+remote transaction aborted) or deliberately released (the remote core
+is value-tracking the block and lets it be stolen — the RETCON path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mem.cache import PermissionsOnlyCache, SetAssocCache
+
+
+@dataclass
+class AccessOutcome:
+    """Result of performing a coherence access."""
+
+    latency: int
+    #: remote cores whose copy was invalidated (write) or downgraded (read)
+    invalidated: tuple[int, ...] = ()
+    #: True if this access hit in the local L1 with sufficient permission
+    l1_hit: bool = False
+
+
+@dataclass
+class _CoreCaches:
+    l1: SetAssocCache
+    l2: SetAssocCache
+    perm: PermissionsOnlyCache
+    #: blocks speculatively read / written by the current transaction
+    spec_read: set[int] = field(default_factory=set)
+    spec_written: set[int] = field(default_factory=set)
+
+
+class CoherenceFabric:
+    """Directory + per-core cache hierarchy for an N-core machine."""
+
+    def __init__(self, config, ncores: int) -> None:
+        self.config = config
+        self.ncores = ncores
+        block = config.block_bytes
+        self.cores = [
+            _CoreCaches(
+                l1=SetAssocCache(
+                    config.l1_bytes, config.l1_assoc, block
+                ),
+                l2=SetAssocCache(
+                    config.l2_bytes, config.l2_assoc, block
+                ),
+                perm=PermissionsOnlyCache(
+                    config.perm_cache_bytes, config.perm_cache_assoc, block
+                ),
+            )
+            for _ in range(ncores)
+        ]
+        # Directory state: which cores hold each block; exclusive owner.
+        self._holders: dict[int, set[int]] = {}
+        self._owner: dict[int, Optional[int]] = {}
+        # Reverse maps for O(1) conflict probing.
+        self._spec_readers: dict[int, set[int]] = {}
+        self._spec_writers: dict[int, set[int]] = {}
+        #: cores whose transaction lost speculative tracking to capacity
+        self.overflowed: set[int] = set()
+        #: count of speculative-line spills into the permissions-only cache
+        self.perm_cache_spills = 0
+        #: count of genuine overflows (permissions-only cache exhausted too)
+        self.overflow_events = 0
+
+    # ------------------------------------------------------------------
+    # Speculative-bit bookkeeping (conflict detection substrate)
+    # ------------------------------------------------------------------
+    def mark_spec(self, core: int, block: int, write: bool) -> None:
+        """Set the speculative read or written bit for *core* on *block*."""
+        caches = self.cores[core]
+        if write:
+            caches.spec_written.add(block)
+            self._spec_writers.setdefault(block, set()).add(core)
+        else:
+            caches.spec_read.add(block)
+            self._spec_readers.setdefault(block, set()).add(core)
+        line = caches.l1.lookup(block, touch=False)
+        if line is not None:
+            if write:
+                line.spec_written = True
+            else:
+                line.spec_read = True
+
+    def unmark_spec(self, core: int, block: int) -> None:
+        """Clear both speculative bits of *core* on *block* (a steal)."""
+        caches = self.cores[core]
+        caches.spec_read.discard(block)
+        caches.spec_written.discard(block)
+        self._discard_reverse(core, block)
+        for cache in (caches.l1, caches.perm):
+            line = cache.lookup(block, touch=False)
+            if line is not None:
+                line.spec_read = False
+                line.spec_written = False
+
+    def clear_spec(self, core: int) -> None:
+        """Clear all speculative bits of *core* (commit or abort)."""
+        caches = self.cores[core]
+        for block in caches.spec_read | caches.spec_written:
+            self._discard_reverse(core, block)
+        caches.spec_read.clear()
+        caches.spec_written.clear()
+        caches.l1.clear_speculative_bits()
+        caches.perm.clear_speculative_bits()
+        self.overflowed.discard(core)
+
+    def _discard_reverse(self, core: int, block: int) -> None:
+        for reverse in (self._spec_readers, self._spec_writers):
+            cores = reverse.get(block)
+            if cores is not None:
+                cores.discard(core)
+                if not cores:
+                    del reverse[block]
+
+    def spec_readers(self, block: int) -> set[int]:
+        return set(self._spec_readers.get(block, ()))
+
+    def spec_writers(self, block: int) -> set[int]:
+        return set(self._spec_writers.get(block, ()))
+
+    def conflicting_cores(
+        self, core: int, block: int, write: bool
+    ) -> set[int]:
+        """Remote cores whose speculative bits conflict with this access.
+
+        A conflict is an external write request to a speculatively-read
+        block, or any external request to a speculatively-written block
+        (paper §2).
+        """
+        conflicts = set(self._spec_writers.get(block, ()))
+        if write:
+            conflicts |= self._spec_readers.get(block, set())
+        conflicts.discard(core)
+        return conflicts
+
+    def is_spec(self, core: int, block: int) -> bool:
+        caches = self.cores[core]
+        return block in caches.spec_read or block in caches.spec_written
+
+    def footprint(self, core: int) -> int:
+        """Number of blocks speculatively touched by *core*."""
+        caches = self.cores[core]
+        return len(caches.spec_read | caches.spec_written)
+
+    # ------------------------------------------------------------------
+    # Coherence accesses
+    # ------------------------------------------------------------------
+    def acquire(self, core: int, block: int, write: bool) -> AccessOutcome:
+        """Obtain read or write permission for *block* on *core*.
+
+        Performs all remote invalidations/downgrades, updates directory
+        state and local caches, and returns the latency.
+        """
+        cfg = self.config
+        caches = self.cores[core]
+        line = caches.l1.lookup(block)
+        holders = self._holders.setdefault(block, set())
+        owner = self._owner.get(block)
+
+        if line is not None and (not write or line.writable):
+            # L1 hit with sufficient permission.
+            if write and owner != core:
+                # Exclusive in L1 but directory stale — cannot happen.
+                self._owner[block] = core
+            return AccessOutcome(latency=1, l1_hit=True)
+
+        invalidated: list[int] = []
+        if line is not None and write:
+            # Upgrade miss: S -> M through the directory.
+            latency = cfg.l2_hit_cycles + 2 * cfg.hop_cycles
+            invalidated = self._invalidate_remotes(core, block)
+            line.writable = True
+            holders.clear()
+            holders.add(core)
+            self._owner[block] = core
+            return AccessOutcome(latency=latency, invalidated=tuple(invalidated))
+
+        # L1 miss: check the private L2.
+        l2_line = caches.l2.lookup(block)
+        if l2_line is not None and (not write or l2_line.writable):
+            latency = cfg.l2_hit_cycles
+        elif l2_line is not None and write:
+            # In L2 but needs an upgrade.
+            latency = cfg.l2_hit_cycles + 2 * cfg.hop_cycles
+        else:
+            # Miss in the private hierarchy: go to the directory.
+            remote = (holders - {core}) or (
+                {owner} if owner is not None and owner != core else set()
+            )
+            if remote:
+                latency = cfg.l2_hit_cycles + 3 * cfg.hop_cycles
+            else:
+                latency = (
+                    cfg.l2_hit_cycles
+                    + 2 * cfg.hop_cycles
+                    + cfg.dram_cycles
+                )
+
+        if write:
+            invalidated = self._invalidate_remotes(core, block)
+            holders.clear()
+            holders.add(core)
+            self._owner[block] = core
+        else:
+            prev_owner = self._owner.get(block)
+            if prev_owner is not None and prev_owner != core:
+                self._downgrade(prev_owner, block)
+                invalidated.append(prev_owner)
+                self._owner[block] = None
+            holders.add(core)
+
+        self._install(core, block, writable=write)
+        return AccessOutcome(latency=latency, invalidated=tuple(invalidated))
+
+    def _invalidate_remotes(self, core: int, block: int) -> list[int]:
+        holders = self._holders.get(block, set())
+        owner = self._owner.get(block)
+        targets = set(holders)
+        if owner is not None:
+            targets.add(owner)
+        targets.discard(core)
+        for other in targets:
+            remote = self.cores[other]
+            remote.l1.invalidate(block)
+            remote.l2.invalidate(block)
+            remote.perm.invalidate(block)
+        if owner is not None and owner != core:
+            self._owner[block] = None
+        return sorted(targets)
+
+    def _downgrade(self, core: int, block: int) -> None:
+        caches = self.cores[core]
+        caches.l1.downgrade(block)
+        caches.l2.downgrade(block)
+
+    def _install(self, core: int, block: int, writable: bool) -> None:
+        caches = self.cores[core]
+        _, l1_victim = caches.l1.insert(block, writable=writable)
+        caches.l2.insert(block, writable=writable)
+        if l1_victim is not None:
+            self._handle_l1_eviction(core, l1_victim)
+
+    def _handle_l1_eviction(self, core: int, victim) -> None:
+        """Spill an evicted L1 line; speculative bits go to the
+        permissions-only cache (OneTM), or overflow if that fails."""
+        caches = self.cores[core]
+        if not victim.speculative:
+            return
+        self.perm_cache_spills += 1
+        perm_line, perm_victim = caches.perm.insert(
+            victim.block, writable=victim.writable
+        )
+        perm_line.spec_read = victim.spec_read
+        perm_line.spec_written = victim.spec_written
+        if perm_victim is not None and perm_victim.speculative:
+            # Lost speculative tracking entirely: an overflow (OneTM
+            # would serialize this transaction; see htm.system).
+            self.overflow_events += 1
+            self.overflowed.add(core)
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests)
+    # ------------------------------------------------------------------
+    def holders_of(self, block: int) -> set[int]:
+        return set(self._holders.get(block, ()))
+
+    def owner_of(self, block: int) -> Optional[int]:
+        return self._owner.get(block)

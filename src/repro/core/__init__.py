@@ -1,0 +1,52 @@
+"""RETCON: symbolic tracking and commit-time repair (paper §4).
+
+The sub-modules map directly onto the paper's hardware structures:
+
+* :mod:`repro.core.symvalue` — symbolic values in the §4.4 optimized
+  ``(input address, increment)`` representation.
+* :mod:`repro.core.constraints` — symbolic control-flow constraints as
+  intervals (§4.4), plus compressed equality constraints.
+* :mod:`repro.core.buffers` — the initial value buffer, symbolic store
+  buffer, and symbolic register file (Figure 5).
+* :mod:`repro.core.predictor` — the conflict-trained predictor that
+  selects which blocks invoke value-based/symbolic tracking (§5.1).
+* :mod:`repro.core.engine` — per-core engine implementing the Figure 6
+  memory-operation flowchart and the Figure 7 pre-commit repair
+  algorithm.
+"""
+
+from repro.core.buffers import (
+    ConditionCodes,
+    InitialValueBuffer,
+    IVBEntry,
+    SSBEntry,
+    SymbolicRegisterFile,
+    SymbolicStoreBuffer,
+)
+from repro.core.constraints import (
+    Constraint,
+    ConstraintBuffer,
+    Interval,
+    constraint_from_branch,
+)
+from repro.core.engine import CapacityAbort, ConstraintViolation, RetconEngine
+from repro.core.predictor import ConflictPredictor
+from repro.core.symvalue import SymValue
+
+__all__ = [
+    "SymValue",
+    "Interval",
+    "Constraint",
+    "ConstraintBuffer",
+    "constraint_from_branch",
+    "InitialValueBuffer",
+    "IVBEntry",
+    "SymbolicStoreBuffer",
+    "SSBEntry",
+    "SymbolicRegisterFile",
+    "ConditionCodes",
+    "ConflictPredictor",
+    "RetconEngine",
+    "ConstraintViolation",
+    "CapacityAbort",
+]

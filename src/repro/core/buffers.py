@@ -1,0 +1,268 @@
+"""RETCON hardware structures (paper Figure 5, with §4.4 optimizations).
+
+* :class:`InitialValueBuffer` — cache-like, indexed by *block* (§4.4,
+  "Maintenance of initial value buffer entries at cache-block
+  granularity").  Each entry holds the initial concrete bytes of the
+  block, per-word equality bits (§4.4, "Compressed representation of
+  equality constraints") and a written bit (§4.4, "Avoidance of
+  upgrade misses during pre-commit").
+* :class:`SymbolicStoreBuffer` — unordered, address-indexed; each entry
+  holds the store's concrete value and its symbolic value (if any).
+* :class:`SymbolicRegisterFile` — the current symbolic value (if any)
+  of each architectural register.
+* :class:`ConditionCodes` — the condition-code register extended with a
+  symbolic constraint field (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.isa.instructions import Cond
+from repro.isa.registers import NUM_REGS
+from repro.mem.address import BLOCK_SIZE, WORD_SIZE, block_base
+from repro.core.symvalue import SymValue
+
+
+@dataclass
+class IVBEntry:
+    """One block tracked by the initial value buffer."""
+
+    block: int
+    initial_bytes: bytes  # the 64 bytes first observed by this transaction
+    #: word indices (0..7) whose value must be unchanged at commit
+    equality_words: set[int] = field(default_factory=set)
+    #: §4.4: reacquire with write permission at pre-commit if set
+    written: bool = False
+    #: set when a remote writer stole the block mid-transaction
+    lost: bool = False
+
+    def read_initial(self, addr: int, size: int) -> int:
+        """Read a signed integer from the captured initial bytes."""
+        offset = addr - block_base(self.block)
+        raw = self.initial_bytes[offset : offset + size]
+        return int.from_bytes(raw, "little", signed=True)
+
+    def read_initial_bytes(self, addr: int, size: int) -> bytes:
+        offset = addr - block_base(self.block)
+        return self.initial_bytes[offset : offset + size]
+
+    def mark_equality(self, addr: int, size: int) -> None:
+        """Require the words covering [addr, addr+size) to be unchanged."""
+        base = block_base(self.block)
+        first = (addr - base) // WORD_SIZE
+        last = (addr + size - 1 - base) // WORD_SIZE
+        self.equality_words.update(range(first, last + 1))
+
+    def equality_violated(self, current: bytes) -> bool:
+        """Check the equality words against the block's current bytes."""
+        for word in self.equality_words:
+            lo = word * WORD_SIZE
+            hi = lo + WORD_SIZE
+            if current[lo:hi] != self.initial_bytes[lo:hi]:
+                return True
+        return False
+
+
+class InitialValueBuffer:
+    """Block-granularity buffer of initial values (16 entries by default)."""
+
+    def __init__(self, capacity: Optional[int] = 16) -> None:
+        self.capacity = capacity
+        self._entries: dict[int, IVBEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._entries
+
+    def get(self, block: int) -> Optional[IVBEntry]:
+        return self._entries.get(block)
+
+    def entries(self) -> Iterator[IVBEntry]:
+        return iter(self._entries.values())
+
+    def is_full(self) -> bool:
+        return (
+            self.capacity is not None
+            and len(self._entries) >= self.capacity
+        )
+
+    def allocate(self, block: int, initial_bytes: bytes) -> Optional[IVBEntry]:
+        """Start tracking *block*; return None if the buffer is full."""
+        existing = self._entries.get(block)
+        if existing is not None:
+            return existing
+        if self.is_full():
+            return None
+        if len(initial_bytes) != BLOCK_SIZE:
+            raise ValueError("IVB entries are captured at block granularity")
+        entry = IVBEntry(block=block, initial_bytes=bytes(initial_bytes))
+        self._entries[block] = entry
+        return entry
+
+    def lost_blocks(self) -> list[int]:
+        return [e.block for e in self._entries.values() if e.lost]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+@dataclass
+class SSBEntry:
+    """One symbolically-tracked (or block-tracked) store."""
+
+    addr: int
+    size: int
+    value: int  # concrete value at store time
+    sym: Optional[SymValue] = None
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.size
+
+    def overlaps(self, addr: int, size: int) -> bool:
+        return self.addr < addr + size and addr < self.end
+
+    def matches(self, addr: int, size: int) -> bool:
+        return self.addr == addr and self.size == size
+
+    def value_bytes(self) -> bytes:
+        mask = (1 << (8 * self.size)) - 1
+        return (self.value & mask).to_bytes(self.size, "little")
+
+
+class SymbolicStoreBufferFull(Exception):
+    """Raised when a store cannot be admitted (bounded configuration)."""
+
+
+class SymbolicStoreBuffer:
+    """Unordered store buffer indexed by data address (32 entries)."""
+
+    def __init__(self, capacity: Optional[int] = 32) -> None:
+        self.capacity = capacity
+        self._entries: dict[int, SSBEntry] = {}
+        #: high-water mark of entries used this transaction (Table 3)
+        self.peak = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[SSBEntry]:
+        return list(self._entries.values())
+
+    def lookup(self, addr: int, size: int) -> Optional[SSBEntry]:
+        """Return the entry exactly matching (addr, size), if any."""
+        entry = self._entries.get(addr)
+        if entry is not None and entry.size == size:
+            return entry
+        return None
+
+    def overlapping(self, addr: int, size: int) -> list[SSBEntry]:
+        """Return every entry overlapping [addr, addr+size)."""
+        # Entries are at most 8 bytes, so scanning a small window of
+        # start addresses is O(size + 8).
+        found = []
+        for start in range(addr - 7, addr + size):
+            entry = self._entries.get(start)
+            if entry is not None and entry.overlaps(addr, size):
+                found.append(entry)
+        return found
+
+    def put(
+        self, addr: int, size: int, value: int, sym: Optional[SymValue]
+    ) -> SSBEntry:
+        """Insert or replace the entry at *addr*.
+
+        The engine resolves overlaps before calling; here an exact
+        address match replaces, and capacity is enforced for new
+        entries.
+        """
+        existing = self._entries.get(addr)
+        if existing is None:
+            if (
+                self.capacity is not None
+                and len(self._entries) >= self.capacity
+            ):
+                raise SymbolicStoreBufferFull(addr)
+        entry = SSBEntry(addr=addr, size=size, value=value, sym=sym)
+        self._entries[addr] = entry
+        self.peak = max(self.peak, len(self._entries))
+        return entry
+
+    def remove(self, addr: int) -> Optional[SSBEntry]:
+        return self._entries.pop(addr, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.peak = 0
+
+
+class SymbolicRegisterFile:
+    """Symbolic value (or None) for each architectural register."""
+
+    def __init__(self) -> None:
+        self._syms: list[Optional[SymValue]] = [None] * NUM_REGS
+
+    def get(self, reg: int) -> Optional[SymValue]:
+        return self._syms[reg]
+
+    def set(self, reg: int, sym: Optional[SymValue]) -> None:
+        self._syms[reg] = sym
+
+    def symbolic_regs(self) -> list[tuple[int, SymValue]]:
+        return [
+            (i, sym) for i, sym in enumerate(self._syms) if sym is not None
+        ]
+
+    def clear(self) -> None:
+        for i in range(NUM_REGS):
+            self._syms[i] = None
+
+
+@dataclass
+class ConditionCodes:
+    """Condition-code state set by ``Cmp`` and read by ``Bcc``.
+
+    Concretely the codes remember the two compared values.  The RETCON
+    extension is the symbolic side: if one comparison operand was
+    symbolic, ``sym`` holds it, ``other`` holds the concrete operand,
+    and ``reversed_operands`` records whether the symbolic operand was
+    on the right-hand side (``k cond sym``).
+    """
+
+    lhs: int = 0
+    rhs: int = 0
+    sym: Optional[SymValue] = None
+    other: int = 0
+    reversed_operands: bool = False
+    valid: bool = False
+
+    def set_concrete(self, lhs: int, rhs: int) -> None:
+        self.lhs = lhs
+        self.rhs = rhs
+        self.sym = None
+        self.other = 0
+        self.reversed_operands = False
+        self.valid = True
+
+    def set_symbolic(
+        self, lhs: int, rhs: int, sym: SymValue, reversed_operands: bool
+    ) -> None:
+        self.set_concrete(lhs, rhs)
+        self.sym = sym
+        self.other = lhs if reversed_operands else rhs
+        self.reversed_operands = reversed_operands
+
+    def evaluate(self, cond: Cond) -> bool:
+        from repro.isa.instructions import evaluate_cond
+
+        if not self.valid:
+            raise RuntimeError("Bcc executed before any Cmp")
+        return evaluate_cond(cond, self.lhs, self.rhs)
+
+    def clear(self) -> None:
+        self.valid = False
+        self.sym = None

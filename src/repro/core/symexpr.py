@@ -1,0 +1,215 @@
+"""General symbolic expressions (the §4 algorithm before §4.4).
+
+Section 4.2 describes RETCON "agnostic to the type or amount of
+computation that can be tracked symbolically"; §4.4 then restricts
+tracked computation to additions and subtractions so a symbolic value
+collapses to an ``(input address, increment)`` pair
+(:class:`repro.core.symvalue.SymValue`).
+
+This module implements the general representation as a tiny expression
+AST.  It exists for two reasons:
+
+* documentation — it makes precise what the optimized form is a
+  special case of;
+* verification — a property test checks that, for programs composed of
+  the §4.4-trackable operations, evaluating the general expression and
+  evaluating the collapsed ``(root, delta)`` pair agree for all root
+  values (see ``tests/core/test_symexpr.py``).
+
+Expressions support the operations a hypothetical less-restricted
+RETCON could track: constants, root locations, negation, addition,
+subtraction, and multiplication by constants.  ``simplify`` performs
+constant folding and linearization; ``as_sym_value`` converts to the
+optimized representation exactly when the expression is of the form
+``[root] + delta``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.symvalue import Root, SymValue
+
+
+class SymExpr:
+    """Base class for symbolic expressions."""
+
+    def evaluate(self, env: dict[Root, int]) -> int:
+        raise NotImplementedError
+
+    def roots(self) -> set[Root]:
+        raise NotImplementedError
+
+    # -- builders ----------------------------------------------------------
+    def __add__(self, other: "SymExpr | int") -> "SymExpr":
+        return Add(self, _coerce(other))
+
+    def __sub__(self, other: "SymExpr | int") -> "SymExpr":
+        return Add(self, Neg(_coerce(other)))
+
+    def __neg__(self) -> "SymExpr":
+        return Neg(self)
+
+    def __mul__(self, factor: int) -> "SymExpr":
+        return Scale(self, factor)
+
+
+def _coerce(value: "SymExpr | int") -> SymExpr:
+    if isinstance(value, SymExpr):
+        return value
+    return Const(int(value))
+
+
+@dataclass(frozen=True)
+class Const(SymExpr):
+    value: int
+
+    def evaluate(self, env):
+        return self.value
+
+    def roots(self):
+        return set()
+
+    def __repr__(self):
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Loc(SymExpr):
+    """The commit-time value of a root location."""
+
+    addr: int
+    size: int = 8
+
+    @property
+    def root(self) -> Root:
+        return (self.addr, self.size)
+
+    def evaluate(self, env):
+        return env[self.root]
+
+    def roots(self):
+        return {self.root}
+
+    def __repr__(self):
+        return f"[{self.addr:#x}]"
+
+
+@dataclass(frozen=True)
+class Neg(SymExpr):
+    operand: SymExpr
+
+    def evaluate(self, env):
+        return -self.operand.evaluate(env)
+
+    def roots(self):
+        return self.operand.roots()
+
+    def __repr__(self):
+        return f"-({self.operand!r})"
+
+
+@dataclass(frozen=True)
+class Add(SymExpr):
+    lhs: SymExpr
+    rhs: SymExpr
+
+    def evaluate(self, env):
+        return self.lhs.evaluate(env) + self.rhs.evaluate(env)
+
+    def roots(self):
+        return self.lhs.roots() | self.rhs.roots()
+
+    def __repr__(self):
+        return f"({self.lhs!r} + {self.rhs!r})"
+
+
+@dataclass(frozen=True)
+class Scale(SymExpr):
+    operand: SymExpr
+    factor: int
+
+    def evaluate(self, env):
+        return self.operand.evaluate(env) * self.factor
+
+    def roots(self):
+        return self.operand.roots()
+
+    def __repr__(self):
+        return f"{self.factor}*({self.operand!r})"
+
+
+@dataclass(frozen=True)
+class _Linear:
+    """Internal canonical form: sum of coefficient*root + constant."""
+
+    coefficients: tuple[tuple[Root, int], ...]
+    constant: int
+
+
+def _linearize(expr: SymExpr) -> _Linear:
+    if isinstance(expr, Const):
+        return _Linear((), expr.value)
+    if isinstance(expr, Loc):
+        return _Linear(((expr.root, 1),), 0)
+    if isinstance(expr, Neg):
+        inner = _linearize(expr.operand)
+        return _Linear(
+            tuple((r, -c) for r, c in inner.coefficients),
+            -inner.constant,
+        )
+    if isinstance(expr, Scale):
+        inner = _linearize(expr.operand)
+        return _Linear(
+            tuple((r, c * expr.factor) for r, c in inner.coefficients),
+            inner.constant * expr.factor,
+        )
+    if isinstance(expr, Add):
+        left = _linearize(expr.lhs)
+        right = _linearize(expr.rhs)
+        merged: dict[Root, int] = {}
+        for root, coeff in left.coefficients + right.coefficients:
+            merged[root] = merged.get(root, 0) + coeff
+        coefficients = tuple(
+            (root, coeff)
+            for root, coeff in sorted(merged.items())
+            if coeff != 0
+        )
+        return _Linear(coefficients, left.constant + right.constant)
+    raise TypeError(f"not a SymExpr: {expr!r}")
+
+
+def simplify(expr: SymExpr) -> SymExpr:
+    """Constant-fold and canonicalize (linear combination form)."""
+    linear = _linearize(expr)
+    result: SymExpr = Const(linear.constant)
+    for root, coeff in linear.coefficients:
+        term: SymExpr = Loc(*root)
+        if coeff != 1:
+            term = Scale(term, coeff)
+        result = Add(result, term) if not _is_zero(result) else term
+    if _is_zero(result) and linear.constant == 0:
+        return Const(0)
+    return result
+
+
+def _is_zero(expr: SymExpr) -> bool:
+    return isinstance(expr, Const) and expr.value == 0
+
+
+def as_sym_value(expr: SymExpr) -> Optional[SymValue]:
+    """Collapse to the §4.4 ``(root, delta)`` form if possible.
+
+    Returns None when the expression is not of the form
+    ``[root] + constant`` — exactly the cases where the RETCON
+    implementation places an equality constraint instead.
+    """
+    linear = _linearize(expr)
+    if len(linear.coefficients) != 1:
+        return None
+    (root, coeff), = linear.coefficients
+    if coeff != 1:
+        return None
+    addr, size = root
+    return SymValue(addr, size, linear.constant)

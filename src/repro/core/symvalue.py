@@ -1,0 +1,50 @@
+"""Symbolic values: the ``(input address, increment)`` representation.
+
+Paper §4.4, "Efficient representation of symbolic computation":
+limiting symbolically-tracked computation to additions and
+subtractions lets a symbolic value be represented succinctly as an
+``(input_address, increment)`` pair, with all arithmetic collapsed
+into a cumulative increment.
+
+A :class:`SymValue` denotes ``[root] + delta`` where ``[root]`` is the
+value that the *root location* — identified by byte address and access
+size — holds at commit time.  Operations that fall outside this
+representation (multiplication, negation, two symbolic inputs, address
+formation) are not expressible; the engine demotes them to equality
+constraints instead (§4.2, "Equality constraints").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+Root = tuple  # (addr: int, size: int)
+
+
+@dataclass(frozen=True)
+class SymValue:
+    """``[root_addr (root_size bytes)] + delta``."""
+
+    root_addr: int
+    root_size: int
+    delta: int = 0
+
+    @property
+    def root(self) -> Root:
+        """The (addr, size) pair identifying the root location."""
+        return (self.root_addr, self.root_size)
+
+    def shifted(self, amount: int) -> "SymValue":
+        """Return this value plus a constant (add/sub folding)."""
+        return replace(self, delta=self.delta + amount)
+
+    def evaluate(self, root_value: int) -> int:
+        """Concretize against the final value of the root location."""
+        return root_value + self.delta
+
+    def __repr__(self) -> str:
+        base = f"[{self.root_addr:#x}.{self.root_size}]"
+        if self.delta == 0:
+            return base
+        sign = "+" if self.delta > 0 else "-"
+        return f"{base}{sign}{abs(self.delta)}"

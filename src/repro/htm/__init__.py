@@ -1,0 +1,41 @@
+"""Hardware transactional memory systems.
+
+The baseline (paper §2) detects conflicts eagerly through the
+coherence protocol, resolves them with timestamp-based "oldest
+transaction wins" contention management, and uses eager version
+management with zero-cycle rollback.  Variants implemented here:
+
+* ``eager`` — the baseline above.
+* ``eager-stall`` — the requester always stalls on a conflict (Fig 2d).
+* ``lazy`` — commit-time conflict detection, committer wins (Fig 2e).
+* ``lazy-vb`` — the paper's value-based decoupling variant: blocks may
+  be stolen, but every read value must be byte-identical at commit.
+* ``datm`` — dependence-aware TM with speculative value forwarding and
+  abort on cyclic dependences (Fig 2b).
+* ``retcon`` — symbolic tracking and commit-time repair (Fig 2a).
+"""
+
+from repro.htm.contention import (
+    ContentionPolicy,
+    RequesterAbortsPolicy,
+    RequesterStallsPolicy,
+    Resolution,
+    TimestampPolicy,
+)
+from repro.htm.events import StallRetry, TxnAborted
+from repro.htm.system import BaseTMSystem, RetconTMSystem, build_system
+from repro.htm.versioning import UndoLog
+
+__all__ = [
+    "build_system",
+    "BaseTMSystem",
+    "RetconTMSystem",
+    "UndoLog",
+    "ContentionPolicy",
+    "TimestampPolicy",
+    "RequesterAbortsPolicy",
+    "RequesterStallsPolicy",
+    "Resolution",
+    "StallRetry",
+    "TxnAborted",
+]

@@ -1,0 +1,109 @@
+"""Contention management policies (paper §2).
+
+When a conflict occurs the system either (1) aborts the local
+speculation, (2) aborts the remote speculation, or (3) stalls the
+requester, taking care that stalling cannot deadlock.
+
+The baseline uses the "oldest transaction wins" timestamp policy: an
+older requester aborts the younger holder; a younger requester stalls
+until the older holder commits.  Stalling is deadlock-free because a
+transaction only ever waits on a strictly older one, and ages form a
+total order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Action(enum.Enum):
+    ABORT_SELF = "abort_self"
+    ABORT_REMOTE = "abort_remote"
+    STALL = "stall"
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """The contention manager's decision for one requester/holder pair."""
+
+    action: Action
+
+
+class ContentionPolicy:
+    """Interface: decide what happens when *requester* hits *holder*."""
+
+    name = "abstract"
+
+    def resolve(
+        self, requester_ts: int, holder_ts: int, requester_nontx: bool
+    ) -> Resolution:
+        raise NotImplementedError
+
+
+class TimestampPolicy(ContentionPolicy):
+    """Oldest transaction wins (the baseline policy).
+
+    Non-transactional requesters always win (they cannot be rolled
+    back), which also guarantees their forward progress.
+    """
+
+    name = "timestamp"
+
+    def resolve(
+        self, requester_ts: int, holder_ts: int, requester_nontx: bool
+    ) -> Resolution:
+        if requester_nontx or requester_ts < holder_ts:
+            return Resolution(Action.ABORT_REMOTE)
+        return Resolution(Action.STALL)
+
+
+class RequesterAbortsPolicy(ContentionPolicy):
+    """The requester always loses and aborts (Figure 2c, "EagerTM")."""
+
+    name = "requester-aborts"
+
+    def resolve(
+        self, requester_ts: int, holder_ts: int, requester_nontx: bool
+    ) -> Resolution:
+        if requester_nontx:
+            return Resolution(Action.ABORT_REMOTE)
+        return Resolution(Action.ABORT_SELF)
+
+
+class RequesterStallsPolicy(ContentionPolicy):
+    """The requester always stalls (Figure 2d, "EagerTM-Stall").
+
+    Pure stalling can deadlock on cyclic waits; the system layer
+    breaks a detected cycle by aborting the younger transaction, so
+    this policy is safe to use on arbitrary workloads.
+    """
+
+    name = "requester-stalls"
+
+    def resolve(
+        self, requester_ts: int, holder_ts: int, requester_nontx: bool
+    ) -> Resolution:
+        if requester_nontx:
+            return Resolution(Action.ABORT_REMOTE)
+        return Resolution(Action.STALL)
+
+
+POLICIES = {
+    policy.name: policy
+    for policy in (
+        TimestampPolicy(),
+        RequesterAbortsPolicy(),
+        RequesterStallsPolicy(),
+    )
+}
+
+
+def get_policy(name: str) -> ContentionPolicy:
+    try:
+        return POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown contention policy {name!r}; "
+            f"choose from {sorted(POLICIES)}"
+        ) from None

@@ -1,0 +1,38 @@
+"""Dependence-aware transactional memory (DATM, Ramadan et al., MICRO
+2008) — Figure 2b's comparison point.
+
+Instead of aborting or stalling on a conflict, DATM forwards
+speculative data between transactions and records a *commit-order
+dependence*: every transaction that touched the block earlier must
+commit before the requester.  With eager version management the
+speculative value already sits in memory, so forwarding is simply
+reading it.  A transaction whose dependence would close a cycle
+aborts (the paper's double-increment example); aborting a transaction
+cascades to everything that consumed its forwarded data.
+
+This model captures DATM's qualitative behaviour for the paper's
+comparison (single increments commit without aborts; repeated
+interleaved increments produce cyclic dependences and abort), which is
+what Figure 2 and the related-work ablation need.
+"""
+
+from __future__ import annotations
+
+from repro.htm.forwarding import ForwardingMixin
+from repro.htm.system import BaseTMSystem
+
+
+class DATMSystem(ForwardingMixin, BaseTMSystem):
+    name = "datm"
+
+    def __init__(self, config, memory, fabric, stats, policy="timestamp"):
+        super().__init__(config, memory, fabric, stats, policy)
+        self._init_forwarding(config.ncores)
+
+    def _resolve(self, core: int, block: int, holders: set[int]) -> None:
+        """Forward instead of aborting (non-transactional requesters
+        still use the baseline logic — they cannot take a dependence)."""
+        if not self.ctx[core].active:
+            super()._resolve(core, block, holders)
+            return
+        self._forwarding_resolve(core, block, holders)

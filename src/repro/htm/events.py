@@ -1,0 +1,30 @@
+"""Control-flow signals between the TM system and the core interpreter."""
+
+from __future__ import annotations
+
+
+class StallRetry(Exception):
+    """The access conflicts and the requester must wait and retry.
+
+    The core charges the configured stall-retry latency (attributed to
+    conflict time) and re-executes the same instruction.
+    """
+
+    def __init__(self, block: int, blockers: set[int]) -> None:
+        super().__init__(f"stall on block {block} (held by {blockers})")
+        self.block = block
+        self.blockers = blockers
+
+
+class TxnAborted(Exception):
+    """The local transaction aborted; the core restarts it.
+
+    ``reason`` is one of ``"conflict"`` (lost a contention-management
+    decision), ``"constraint"`` (a RETCON commit-time constraint was
+    violated), ``"capacity"`` (a bounded RETCON structure overflowed),
+    or ``"dependence"`` (DATM cyclic dependence / cascading abort).
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason

@@ -1,0 +1,150 @@
+"""Dependence-tracked speculative value forwarding (DATM's machinery).
+
+Extracted as a mixin so it can back both the plain DATM comparison
+system (Figure 2b) and the RETCON+forwarding hybrid the paper's
+conclusion proposes ("we plan to investigate the integration of
+RETCON with mechanisms that use speculative value forwarding such as
+transactional value prediction and dependence-aware transactional
+memory").
+
+The mixin maintains commit-order edges (``preds``/``succs``): a
+transaction that consumed another's speculative data must commit after
+it; an edge that would close a cycle aborts the younger transaction;
+aborting a transaction cascades to everything that consumed its data.
+"""
+
+from __future__ import annotations
+
+from repro.htm.events import StallRetry
+
+
+class ForwardingMixin:
+    """Commit-order dependence tracking over a BaseTMSystem subclass."""
+
+    def _init_forwarding(
+        self, ncores: int, cooldown: int = 0
+    ) -> None:
+        # preds[c] = cores that must commit before c; succs = inverse.
+        self._preds: list[set[int]] = [set() for _ in range(ncores)]
+        self._succs: list[set[int]] = [set() for _ in range(ncores)]
+        #: hysteresis: after a cyclic-dependence abort on a block, skip
+        #: forwarding it for this many conflicts (0 = always forward,
+        #: as plain DATM does).
+        self._fwd_cooldown_length = cooldown
+        self._fwd_cooldown: dict[int, int] = {}
+        #: cores inside their commit sequence: conflicts found while
+        #: committing must NOT take new dependences (the commit-order
+        #: barrier has already been passed), so they fall back to the
+        #: baseline contention logic.
+        self._committing: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def _clear_edges(self, core: int) -> None:
+        for pred in self._preds[core]:
+            self._succs[pred].discard(core)
+        for succ in self._succs[core]:
+            self._preds[succ].discard(core)
+        self._preds[core].clear()
+        self._succs[core].clear()
+
+    def _reaches(self, start: int, goal: int) -> bool:
+        """Is *goal* reachable from *start* along commit-order edges?"""
+        stack, seen = [start], set()
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._succs[node])
+        return False
+
+    def _cascade_abort(self, core: int) -> None:
+        """Abort *core*'s dependents (they consumed forwarded data)."""
+        for succ in list(self._succs[core]):
+            if self.ctx[succ].active:
+                self._doom(succ, reason="dependence")
+
+    # ------------------------------------------------------------------
+    # Hooks into the base system's lifecycle
+    # ------------------------------------------------------------------
+    def begin(self, core: int, restart: bool = False) -> None:
+        super().begin(core, restart)
+        self._clear_edges(core)
+
+    def _doom(self, core: int, reason: str) -> None:
+        self._cascade_abort(core)
+        self._clear_edges(core)
+        super()._doom(core, reason)
+
+    def _abort_self(self, core: int, reason: str) -> None:
+        self._cascade_abort(core)
+        self._clear_edges(core)
+        super()._abort_self(core, reason)
+
+    # ------------------------------------------------------------------
+    def _forwarding_resolve(
+        self, core: int, block: int, holders: set[int]
+    ) -> None:
+        """Order *core* after each holder instead of aborting.
+
+        A dependence that would close a cycle aborts the younger
+        transaction (the forwarded chain cannot serialize).
+        """
+        ctx = self.ctx[core]
+        for holder in sorted(holders):
+            if not self.ctx[holder].active or holder == core:
+                continue
+            if holder in self._preds[core]:
+                continue
+            if self._reaches(core, holder):
+                if self._fwd_cooldown_length:
+                    self._fwd_cooldown[block] = (
+                        self._fwd_cooldown_length
+                    )
+                if ctx.ts > self.ctx[holder].ts:
+                    self._abort_self(core, reason="dependence")
+                else:
+                    self._doom(holder, reason="dependence")
+                continue
+            self._preds[core].add(holder)
+            self._succs[holder].add(core)
+            self._trace(
+                "forward", core, block=block, source=holder
+            )
+
+    def _forwarding_allowed(self, block: int) -> bool:
+        """Hysteresis check: is this block in forwarding cooldown?"""
+        remaining = self._fwd_cooldown.get(block, 0)
+        if remaining > 0:
+            self._fwd_cooldown[block] = remaining - 1
+            return False
+        return True
+
+    def _commit_order_barrier(self, core: int) -> None:
+        """Raise StallRetry until every predecessor has committed.
+
+        The wait is registered in the baseline wait-for graph so that
+        a predecessor stalling (baseline-style) on one of *our* blocks
+        sees the cycle and breaks it by aborting the younger party —
+        otherwise a commit-order wait and an access stall could
+        deadlock each other invisibly.
+        """
+        pending = {
+            pred for pred in self._preds[core] if self.ctx[pred].active
+        }
+        if pending:
+            self._waiting_on[core] = min(pending)
+            raise StallRetry(block=-1, blockers=pending)
+        self._waiting_on.pop(core, None)
+
+    def commit(self, core: int):
+        self._commit_order_barrier(core)
+        self._committing.add(core)
+        try:
+            result = super().commit(core)
+        finally:
+            self._committing.discard(core)
+        self._clear_edges(core)
+        return result

@@ -1,0 +1,131 @@
+"""Plain lazy (commit-time) conflict detection — Figure 2e's "LazyTM".
+
+Transactions execute without access-time conflict checks: loads record
+a read set, stores go to a private write buffer.  At commit the
+committer wins: every other in-flight transaction whose read or write
+set intersects the committer's write set is aborted, then the write
+buffer drains to memory.
+
+This variant exists for the Figure 2 comparison and the contention-
+management ablation; the paper's headline comparisons use the eager
+baseline, lazy-vb, and RETCON.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.symvalue import SymValue
+from repro.htm.system import (
+    BaseTMSystem,
+    CommitResult,
+    LoadResult,
+    StoreResult,
+)
+from repro.mem.address import block_of, blocks_spanned
+
+
+class LazyTMSystem(BaseTMSystem):
+    name = "lazy"
+
+    def __init__(self, config, memory, fabric, stats, policy="timestamp"):
+        super().__init__(config, memory, fabric, stats, policy)
+        self._read_sets: list[set[int]] = [
+            set() for _ in range(config.ncores)
+        ]
+        self._write_buffers: list[dict[int, tuple[int, int]]] = [
+            {} for _ in range(config.ncores)
+        ]
+
+    # ------------------------------------------------------------------
+    def begin(self, core: int, restart: bool = False) -> None:
+        super().begin(core, restart)
+        self._read_sets[core].clear()
+        self._write_buffers[core].clear()
+
+    def _doom(self, core: int, reason: str) -> None:
+        self._read_sets[core].clear()
+        self._write_buffers[core].clear()
+        super()._doom(core, reason)
+
+    def _abort_self(self, core: int, reason: str) -> None:
+        self._read_sets[core].clear()
+        self._write_buffers[core].clear()
+        super()._abort_self(core, reason)
+
+    # ------------------------------------------------------------------
+    def _compose(self, core: int, addr: int, size: int) -> int:
+        """Read through the write buffer over current memory bytes."""
+        raw = bytearray(self.memory.read_bytes(addr, size))
+        buffer = self._write_buffers[core]
+        for start in range(addr - 7, addr + size):
+            entry = buffer.get(start)
+            if entry is None:
+                continue
+            esize, evalue = entry
+            if start + esize <= addr or start >= addr + size:
+                continue
+            mask = (1 << (8 * esize)) - 1
+            data = (evalue & mask).to_bytes(esize, "little")
+            for i in range(esize):
+                pos = start + i - addr
+                if 0 <= pos < size:
+                    raw[pos] = data[i]
+        return int.from_bytes(bytes(raw), "little", signed=True)
+
+    def load(self, core: int, addr: int, size: int) -> LoadResult:
+        ctx = self.ctx[core]
+        if not ctx.active:
+            return super().load(core, addr, size)
+        latency = 0
+        for block in blocks_spanned(addr, size):
+            self._read_sets[core].add(block)
+            outcome = self.fabric.acquire(core, block, write=False)
+            latency += outcome.latency
+        return LoadResult(
+            value=self._compose(core, addr, size), latency=latency
+        )
+
+    def store(
+        self,
+        core: int,
+        addr: int,
+        size: int,
+        value: int,
+        sym: Optional[SymValue] = None,
+    ) -> StoreResult:
+        ctx = self.ctx[core]
+        if not ctx.active:
+            return super().store(core, addr, size, value)
+        self._write_buffers[core][addr] = (size, value)
+        return StoreResult(latency=1)
+
+    # ------------------------------------------------------------------
+    def _pre_commit(self, core: int) -> CommitResult:
+        buffer = self._write_buffers[core]
+        write_blocks = {
+            block
+            for addr, (size, _value) in buffer.items()
+            for block in blocks_spanned(addr, size)
+        }
+        # Committer wins: abort every conflicting in-flight transaction.
+        for other in range(self.config.ncores):
+            if other == core or not self.ctx[other].active:
+                continue
+            other_writes = {
+                block
+                for addr, (size, _v) in self._write_buffers[other].items()
+                for block in blocks_spanned(addr, size)
+            }
+            if write_blocks & (self._read_sets[other] | other_writes):
+                self._doom(other, reason="conflict")
+
+        latency = 0
+        for block in sorted(write_blocks):
+            outcome = self.fabric.acquire(core, block, write=True)
+            latency += outcome.latency
+        for addr, (size, value) in buffer.items():
+            self.memory.write(addr, value, size)
+        buffer.clear()
+        self._read_sets[core].clear()
+        return CommitResult(latency=latency)

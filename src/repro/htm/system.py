@@ -1,0 +1,638 @@
+"""The transactional memory systems: eager baseline and RETCON.
+
+:class:`BaseTMSystem` implements the paper's baseline HTM (§2):
+access-time (eager) conflict detection via speculative bits in the
+coherence fabric, pluggable contention management, eager version
+management with zero-cycle rollback, and OneTM-style overflow
+serialization backed by the permissions-only cache.
+
+:class:`RetconTMSystem` layers the RETCON engine on top: predictor-
+selected blocks are value/symbolically tracked (Figure 6 paths) and
+repaired at commit (Figure 7); all other accesses use the baseline
+machinery unchanged.  Configured with ``symbolic_arithmetic=False``
+and an always-track predictor it becomes the paper's *lazy-vb*
+variant.
+
+The simulator's global scheduler interleaves cores between
+instructions, so each TM operation here (including the whole
+pre-commit + commit sequence) is atomic with respect to other cores;
+latencies are charged to the requesting core's clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.coherence.directory import CoherenceFabric
+from repro.core.engine import (
+    CapacityAbort,
+    ConstraintViolation,
+    RetconEngine,
+)
+from repro.core.predictor import ConflictPredictor
+from repro.core.symvalue import SymValue
+from repro.htm.contention import Action, ContentionPolicy, get_policy
+from repro.htm.events import StallRetry, TxnAborted
+from repro.htm.versioning import UndoLog
+from repro.mem.address import block_of, blocks_spanned
+from repro.mem.memory import MainMemory
+from repro.sim.config import MachineConfig
+from repro.sim.stats import MachineStats
+
+
+@dataclass
+class TxnContext:
+    """Per-core transaction bookkeeping."""
+
+    active: bool = False
+    ts: int = 0
+    undo: UndoLog = field(default_factory=UndoLog)
+    #: first-access decision per block: "eager" or "tracked"
+    block_mode: dict[int, str] = field(default_factory=dict)
+    doomed: bool = False
+    doom_reason: str = "conflict"
+    overflowed: bool = False
+
+
+@dataclass
+class LoadResult:
+    value: int
+    latency: int
+    sym: Optional[SymValue] = None
+
+
+@dataclass
+class StoreResult:
+    latency: int
+
+
+@dataclass
+class CommitResult:
+    latency: int
+    #: (reg, value) register repairs RETCON computed at commit
+    register_repairs: list[tuple[int, int]] = field(default_factory=list)
+
+
+class BaseTMSystem:
+    """The eager-baseline HTM (also the superclass of all variants)."""
+
+    name = "eager"
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        memory: MainMemory,
+        fabric: CoherenceFabric,
+        stats: MachineStats,
+        policy: "ContentionPolicy | str" = "timestamp",
+    ) -> None:
+        self.config = config
+        self.memory = memory
+        self.fabric = fabric
+        self.stats = stats
+        self.policy = (
+            get_policy(policy) if isinstance(policy, str) else policy
+        )
+        self.ctx = [TxnContext() for _ in range(config.ncores)]
+        self._next_ts = 0
+        #: wait-for edges for deadlock detection under stalling policies
+        self._waiting_on: dict[int, int] = {}
+        #: optional :class:`repro.sim.trace.Tracer`
+        self.tracer = None
+        #: optional callable core -> current cycle (set by the Machine
+        #: so trace events carry timestamps)
+        self.clock = None
+
+    def _trace(self, kind: str, core: int, **detail) -> None:
+        if self.tracer is not None:
+            if self.clock is not None:
+                detail.setdefault("cycle", self.clock(core))
+            self.tracer.emit(kind, core, **detail)
+
+    # ------------------------------------------------------------------
+    # Engine access (overridden by RETCON)
+    # ------------------------------------------------------------------
+    def engine(self, core: int) -> Optional[RetconEngine]:
+        return None
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+    def begin(self, core: int, restart: bool = False) -> None:
+        ctx = self.ctx[core]
+        if ctx.active and not restart:
+            raise RuntimeError(f"core {core}: nested begin")
+        if not restart:
+            self._next_ts += 1
+            ctx.ts = self._next_ts
+        ctx.active = True
+        ctx.doomed = False
+        ctx.overflowed = False
+        ctx.block_mode.clear()
+        engine = self.engine(core)
+        if engine is not None:
+            engine.begin_txn()
+        self._trace("begin", core, ts=ctx.ts, restart=restart)
+
+    def in_txn(self, core: int) -> bool:
+        return self.ctx[core].active
+
+    def poll_doomed(self, core: int) -> Optional[str]:
+        """If a remote decision aborted this core's transaction, return
+        the reason (state was already rolled back); else None."""
+        ctx = self.ctx[core]
+        if ctx.active and ctx.doomed:
+            ctx.doomed = False
+            ctx.active = False
+            return ctx.doom_reason
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict resolution
+    # ------------------------------------------------------------------
+    def _resolve(self, core: int, block: int, holders: set[int]) -> None:
+        """Resolve conflicts with *holders*; raises StallRetry or
+        TxnAborted, or returns with every holder aborted."""
+        ctx = self.ctx[core]
+        nontx = not ctx.active
+        self._observe_conflict(core, block, holders)
+        for holder in sorted(holders):
+            holder_ctx = self.ctx[holder]
+            if not holder_ctx.active:
+                continue  # already gone (e.g. aborted for a prior holder)
+            resolution = self.policy.resolve(
+                ctx.ts, holder_ctx.ts, requester_nontx=nontx
+            )
+            action = resolution.action
+            if action is Action.STALL and self._would_deadlock(core, holder):
+                # Break the wait cycle: abort the younger of the pair.
+                if ctx.ts > holder_ctx.ts:
+                    action = Action.ABORT_SELF
+                else:
+                    action = Action.ABORT_REMOTE
+            if action is Action.ABORT_REMOTE:
+                self._doom(holder, reason="conflict")
+            elif action is Action.ABORT_SELF:
+                self._abort_self(core, reason="conflict")
+            else:
+                self._waiting_on[core] = holder
+                raise StallRetry(block, {holder})
+        self._waiting_on.pop(core, None)
+
+    def _check_self_doom(self, core: int) -> None:
+        """Abort immediately if resolving a conflict doomed *us*.
+
+        Cascading aborts (DATM/hybrid forwarding) can doom the
+        requester itself while it resolves a conflict against a
+        holder; its state was already rolled back, so continuing the
+        access would leak an un-undoable store.  Convert the doom into
+        an immediate TxnAborted instead.
+        """
+        ctx = self.ctx[core]
+        if ctx.active and ctx.doomed:
+            ctx.doomed = False
+            ctx.active = False
+            raise TxnAborted(ctx.doom_reason)
+
+    def _would_deadlock(self, requester: int, holder: int) -> bool:
+        seen = set()
+        current: Optional[int] = holder
+        while current is not None and current not in seen:
+            if current == requester:
+                return True
+            seen.add(current)
+            current = self._waiting_on.get(current)
+        return False
+
+    def _observe_conflict(
+        self, core: int, block: int, holders: set[int]
+    ) -> None:
+        """Hook for predictor training (RETCON overrides)."""
+
+    def _doom(self, core: int, reason: str) -> None:
+        """Abort a remote core's transaction: restore state now, let its
+        interpreter notice at its next step."""
+        ctx = self.ctx[core]
+        if not ctx.active:
+            return
+        ctx.undo.rollback(self.memory)
+        self.fabric.clear_spec(core)
+        engine = self.engine(core)
+        if engine is not None:
+            engine.abort_txn()
+        ctx.doomed = True
+        ctx.doom_reason = reason
+        ctx.block_mode.clear()
+        self._waiting_on.pop(core, None)
+        self.stats.core(core).aborts[reason] = (
+            self.stats.core(core).aborts.get(reason, 0) + 1
+        )
+        self._trace("abort", core, reason=reason, by="remote")
+
+    def _abort_self(self, core: int, reason: str) -> None:
+        ctx = self.ctx[core]
+        ctx.undo.rollback(self.memory)
+        self.fabric.clear_spec(core)
+        engine = self.engine(core)
+        if engine is not None:
+            engine.abort_txn()
+        ctx.active = False
+        ctx.doomed = False
+        ctx.block_mode.clear()
+        self._waiting_on.pop(core, None)
+        self.stats.core(core).aborts[reason] = (
+            self.stats.core(core).aborts.get(reason, 0) + 1
+        )
+        self._trace("abort", core, reason=reason, by="self")
+        raise TxnAborted(reason)
+
+    # ------------------------------------------------------------------
+    # Conflict filtering
+    # ------------------------------------------------------------------
+    def _conflicts(self, core: int, block: int, write: bool) -> set[int]:
+        """Remote cores whose eager speculative bits conflict.
+
+        OneTM overflow serialization: a transaction that overflowed the
+        permissions-only cache conservatively conflicts with every
+        in-flight transaction on any access (the paper's backing
+        mechanism serializes overflowed transactions; overflows are
+        essentially eliminated by the permissions-only cache, so this
+        path is cold).
+        """
+        conflicts = self.fabric.conflicting_cores(core, block, write)
+        for other in self.fabric.overflowed:
+            if other != core and self.ctx[other].active:
+                conflicts.add(other)
+        return conflicts
+
+    # ------------------------------------------------------------------
+    # Memory operations (baseline / eager paths)
+    # ------------------------------------------------------------------
+    def load(self, core: int, addr: int, size: int) -> LoadResult:
+        latency = 0
+        for block in blocks_spanned(addr, size):
+            latency += self._eager_block_access(core, block, write=False)
+        return LoadResult(value=self.memory.read(addr, size), latency=latency)
+
+    def store(
+        self,
+        core: int,
+        addr: int,
+        size: int,
+        value: int,
+        sym: Optional[SymValue] = None,
+    ) -> StoreResult:
+        latency = 0
+        for block in blocks_spanned(addr, size):
+            latency += self._eager_block_access(core, block, write=True)
+        ctx = self.ctx[core]
+        if ctx.active:
+            ctx.undo.record(self.memory, addr, size)
+        self.memory.write(addr, value, size)
+        return StoreResult(latency=latency)
+
+    def _eager_block_access(self, core: int, block: int, write: bool) -> int:
+        """Resolve conflicts and perform one block's coherence access."""
+        ctx = self.ctx[core]
+        conflicts = self._conflicts(core, block, write)
+        if conflicts:
+            self._resolve(core, block, conflicts)
+            self._check_self_doom(core)
+        self._waiting_on.pop(core, None)
+        outcome = self.fabric.acquire(core, block, write=write)
+        if ctx.active:
+            self.fabric.mark_spec(core, block, write=write)
+            ctx.block_mode.setdefault(block, "eager")
+        if write:
+            self._notify_trackers(core, block, outcome.invalidated)
+        return outcome.latency
+
+    def _notify_trackers(
+        self, core: int, block: int, invalidated: tuple[int, ...]
+    ) -> None:
+        """Writers steal value-tracked copies; tell the victims'
+        engines so they revalidate/repair at commit."""
+        for other in invalidated:
+            engine = self.engine(other)
+            if engine is not None and self.ctx[other].active:
+                if engine.is_tracked(block):
+                    self._trace(
+                        "steal", other, block=block, writer=core
+                    )
+                engine.on_block_lost(block)
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+    def commit(self, core: int) -> CommitResult:
+        ctx = self.ctx[core]
+        if not ctx.active:
+            raise RuntimeError(f"core {core}: commit outside transaction")
+        result = self._pre_commit(core)
+        ctx.undo.commit()
+        self.fabric.clear_spec(core)
+        ctx.active = False
+        ctx.block_mode.clear()
+        self._waiting_on.pop(core, None)
+        self.stats.core(core).commits += 1
+        self._trace("commit", core, latency=result.latency)
+        return result
+
+    def _pre_commit(self, core: int) -> CommitResult:
+        """Hook: RETCON's pre-commit repair. Baseline commits in 0 cycles."""
+        return CommitResult(latency=0)
+
+
+class RetconTMSystem(BaseTMSystem):
+    """RETCON (and, reconfigured, the lazy-vb variant)."""
+
+    name = "retcon"
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        memory: MainMemory,
+        fabric: CoherenceFabric,
+        stats: MachineStats,
+        policy: "ContentionPolicy | str" = "timestamp",
+        symbolic_arithmetic: bool = True,
+        track_all: bool = False,
+    ) -> None:
+        super().__init__(config, memory, fabric, stats, policy)
+        unlimited = config.idealized or track_all
+        self.symbolic_arithmetic = symbolic_arithmetic
+        self.track_all = track_all
+        self._engines = [
+            RetconEngine(
+                ivb_capacity=None if unlimited else config.ivb_entries,
+                constraint_capacity=(
+                    None if unlimited else config.constraint_entries
+                ),
+                ssb_capacity=None if unlimited else config.ssb_entries,
+                symbolic_arithmetic=symbolic_arithmetic,
+                predictor=ConflictPredictor(
+                    train_threshold=config.predictor_train_threshold,
+                    backoff=config.predictor_backoff,
+                    always_track=track_all,
+                ),
+            )
+            for _ in range(config.ncores)
+        ]
+
+    def engine(self, core: int) -> RetconEngine:
+        return self._engines[core]
+
+    def _observe_conflict(
+        self, core: int, block: int, holders: set[int]
+    ) -> None:
+        self._engines[core].predictor.observe_conflict(block)
+        for holder in holders:
+            self._engines[holder].predictor.observe_conflict(block)
+
+    # ------------------------------------------------------------------
+    # Tracked-path helpers
+    # ------------------------------------------------------------------
+    def _fits_tracked(self, addr: int, size: int) -> bool:
+        """Tracked accesses must not straddle a block boundary."""
+        return block_of(addr) == block_of(addr + size - 1)
+
+    def _try_start_tracking(self, core: int, addr: int, size: int) -> int:
+        """Begin tracking the block if the predictor elects it.
+
+        Returns the fetch latency, or -1 if tracking was not started.
+        The block's current bytes must be architecturally committed:
+        if a remote eager writer holds it speculatively, fall back to
+        the baseline path (which will detect the conflict).
+        """
+        ctx = self.ctx[core]
+        engine = self._engines[core]
+        block = block_of(addr)
+        if block in ctx.block_mode:
+            return -1
+        if not self._fits_tracked(addr, size):
+            return -1
+        if not engine.wants_tracking(block):
+            return -1
+        if self.fabric.spec_writers(block) - {core}:
+            return -1
+        outcome = self.fabric.acquire(core, block, write=False)
+        engine.start_tracking(block, self.memory.read_block(block))
+        ctx.block_mode[block] = "tracked"
+        return outcome.latency
+
+    def _capacity_abort(self, core: int) -> None:
+        """A bounded RETCON structure overflowed: abort, and train the
+        predictor down on every block this transaction tracks so the
+        retry takes the eager path (otherwise a transaction whose
+        footprint inherently exceeds the structures would overflow
+        identically forever)."""
+        engine = self._engines[core]
+        for entry in engine.ivb.entries():
+            engine.predictor.observe_violation(entry.block)
+        self._abort_self(core, reason="capacity")
+
+    def _underlying_bytes(self, core: int, addr: int, size: int) -> bytes:
+        """Pre-store bytes for SSB merges: initial value for tracked
+        blocks, current memory otherwise."""
+        entry = self._engines[core].ivb.get(block_of(addr))
+        if entry is not None and self._fits_tracked(addr, size):
+            return entry.read_initial_bytes(addr, size)
+        return self.memory.read_bytes(addr, size)
+
+    # ------------------------------------------------------------------
+    # Memory operations (Figure 6)
+    # ------------------------------------------------------------------
+    def load(self, core: int, addr: int, size: int) -> LoadResult:
+        ctx = self.ctx[core]
+        engine = self._engines[core]
+        if not ctx.active:
+            return super().load(core, addr, size)
+
+        block = block_of(addr)
+        if engine.is_tracked(block) and self._fits_tracked(addr, size):
+            value, sym = engine.load_tracked(addr, size)
+            return LoadResult(value=value, latency=1, sym=sym)
+
+        # A symbolic store may have gone to an untracked address; the
+        # SSB is checked in parallel with the cache for every load.
+        if engine.has_ssb_overlap(addr, size):
+            value, sym, hit = engine.load_untracked_with_ssb(
+                addr, size, self.memory.read_bytes(addr, size)
+            )
+            if hit:
+                return LoadResult(value=value, latency=1, sym=sym)
+
+        fetch = self._try_start_tracking(core, addr, size)
+        if fetch >= 0:
+            value, sym = engine.load_tracked(addr, size)
+            return LoadResult(value=value, latency=fetch, sym=sym)
+
+        return super().load(core, addr, size)
+
+    def store(
+        self,
+        core: int,
+        addr: int,
+        size: int,
+        value: int,
+        sym: Optional[SymValue] = None,
+    ) -> StoreResult:
+        ctx = self.ctx[core]
+        engine = self._engines[core]
+        if not ctx.active:
+            return super().store(core, addr, size, value, sym=None)
+
+        block = block_of(addr)
+        if not self.symbolic_arithmetic:
+            sym = None
+
+        tracked = engine.is_tracked(block) and self._fits_tracked(addr, size)
+        if not tracked:
+            fetch = self._try_start_tracking(core, addr, size)
+            if fetch >= 0:
+                tracked = True
+
+        if tracked or sym is not None:
+            # Figure 6 right side: symbolic store (data symbolic, or the
+            # address belongs to a tracked block) goes to the SSB.
+            try:
+                engine.store_buffered(
+                    addr,
+                    size,
+                    value,
+                    sym,
+                    lambda a, s: self._underlying_bytes(core, a, s),
+                )
+            except CapacityAbort:
+                self._capacity_abort(core)
+            return StoreResult(latency=1)
+
+        # Normal (eager) store.  It must not bypass older buffered
+        # stores to overlapping bytes: exact matches invalidate the SSB
+        # entry (Figure 6); partial overlaps are merged through the SSB
+        # to keep the drain byte-exact.
+        overlaps = engine.invalidate_ssb(addr, size)
+        if overlaps:
+            try:
+                engine.store_buffered(
+                    addr,
+                    size,
+                    value,
+                    None,
+                    lambda a, s: self._underlying_bytes(core, a, s),
+                )
+            except CapacityAbort:
+                self._capacity_abort(core)
+            return StoreResult(latency=1)
+
+        return super().store(core, addr, size, value, sym=None)
+
+    # ------------------------------------------------------------------
+    # Pre-commit repair (Figure 7)
+    # ------------------------------------------------------------------
+    def _pre_commit(self, core: int) -> CommitResult:
+        engine = self._engines[core]
+        ctx = self.ctx[core]
+        engine.mark_written_blocks()
+        idealized = self.config.idealized
+        latency = 0
+
+        # Step 1: reacquire lost blocks, serially (conservative, §5.1),
+        # checking conflicts against eager speculation via the baseline
+        # contention logic.
+        current: dict[int, bytes] = {}
+        reacquire_latencies: list[int] = []
+        for block, needs_write in engine.reacquire_plan():
+            conflicts = self._conflicts(core, block, write=needs_write)
+            if conflicts:
+                self._resolve(core, block, conflicts)
+                self._check_self_doom(core)
+            outcome = self.fabric.acquire(core, block, write=needs_write)
+            reacquire_latencies.append(outcome.latency)
+            if needs_write:
+                self._notify_trackers(core, block, outcome.invalidated)
+            current[block] = self.memory.read_block(block)
+        latency += (
+            max(reacquire_latencies, default=0)
+            if idealized
+            else sum(reacquire_latencies)
+        )
+
+        try:
+            engine.validate(current)
+        except ConstraintViolation as violation:
+            engine.predictor.observe_violation(violation.block)
+            self._abort_self(core, reason="constraint")
+
+        plan = engine.commit_plan(current)
+
+        # Resolve every drain conflict before touching memory so a
+        # stall cannot leave a half-drained commit visible.
+        drain_blocks = sorted(
+            {block_of(addr) for addr, _size, _val in plan.stores}
+        )
+        for block in drain_blocks:
+            conflicts = self._conflicts(core, block, write=True)
+            if conflicts:
+                self._resolve(core, block, conflicts)
+                self._check_self_doom(core)
+
+        # Step 2: drain stores (serially, after all reacquires) and
+        # compute register repairs.
+        for addr, size, final_value in plan.stores:
+            block = block_of(addr)
+            outcome = self.fabric.acquire(core, block, write=True)
+            self._notify_trackers(core, block, outcome.invalidated)
+            if not idealized:
+                latency += max(1, outcome.latency)
+            self.memory.write(addr, final_value, size)
+            self._trace("repair", core, addr=addr, value=final_value)
+
+        sample = engine.sample(commit_cycles=latency)
+        self.stats.record_retcon_sample(core, sample)
+        return CommitResult(latency=latency, register_repairs=plan.registers)
+
+
+def build_system(
+    name: str,
+    config: MachineConfig,
+    memory: MainMemory,
+    fabric: CoherenceFabric,
+    stats: MachineStats,
+) -> BaseTMSystem:
+    """Construct a TM system variant by name (see :data:`repro.SYSTEMS`)."""
+    if name == "eager":
+        return BaseTMSystem(config, memory, fabric, stats, "timestamp")
+    if name == "eager-abort":
+        return BaseTMSystem(config, memory, fabric, stats, "requester-aborts")
+    if name == "eager-stall":
+        return BaseTMSystem(config, memory, fabric, stats, "requester-stalls")
+    if name == "lazy-vb":
+        return RetconTMSystem(
+            config,
+            memory,
+            fabric,
+            stats,
+            "timestamp",
+            symbolic_arithmetic=False,
+            track_all=True,
+        )
+    if name == "retcon":
+        return RetconTMSystem(
+            config, memory, fabric, stats, "timestamp",
+            symbolic_arithmetic=True,
+        )
+    if name == "lazy":
+        from repro.htm.lazy import LazyTMSystem
+
+        return LazyTMSystem(config, memory, fabric, stats)
+    if name == "datm":
+        from repro.htm.datm import DATMSystem
+
+        return DATMSystem(config, memory, fabric, stats)
+    if name == "retcon-fwd":
+        from repro.htm.hybrid import RetconForwardingSystem
+
+        return RetconForwardingSystem(config, memory, fabric, stats)
+    raise ValueError(f"unknown TM system: {name!r}")

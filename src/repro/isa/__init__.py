@@ -1,0 +1,61 @@
+"""A small RISC-like instruction set for transaction programs.
+
+Workloads are expressed as programs in this ISA.  The instruction set is
+deliberately close to the operation classes that RETCON's symbolic tracker
+distinguishes (paper §4): loads and stores of 1–8 bytes, additive
+arithmetic (trackable symbolically), multiplicative arithmetic (not
+trackable — forces equality constraints), compare/branch (generates
+control-flow constraints), and register moves.
+"""
+
+from repro.isa.instructions import (
+    OPCODES,
+    TRACKABLE_OPS,
+    Bcc,
+    Branch,
+    Cmp,
+    Cond,
+    Halt,
+    Imm,
+    Instruction,
+    Jump,
+    Load,
+    Mov,
+    Movi,
+    Nop,
+    Op,
+    Reg,
+    Store,
+    apply_op,
+    evaluate_cond,
+    negate_cond,
+)
+from repro.isa.program import Assembler, Program
+from repro.isa.registers import NUM_REGS, RegisterFile
+
+__all__ = [
+    "Instruction",
+    "Load",
+    "Store",
+    "Op",
+    "Mov",
+    "Movi",
+    "Cmp",
+    "Branch",
+    "Bcc",
+    "Jump",
+    "Nop",
+    "Halt",
+    "Reg",
+    "Imm",
+    "Cond",
+    "OPCODES",
+    "TRACKABLE_OPS",
+    "apply_op",
+    "evaluate_cond",
+    "negate_cond",
+    "Program",
+    "Assembler",
+    "RegisterFile",
+    "NUM_REGS",
+]

@@ -1,0 +1,216 @@
+"""Programs and a small assembler for building them.
+
+A :class:`Program` is an immutable list of instructions plus a label
+table mapping label names to instruction indices.  The
+:class:`Assembler` provides a fluent builder API used by the workload
+generators, e.g.::
+
+    asm = Assembler()
+    asm.load(R1, counter_addr)
+    asm.addi(R1, R1, 1)
+    asm.store(R1, counter_addr)
+    asm.br(Cond.GT, R1, 100, "resize")
+    asm.halt()
+    asm.mark("resize")
+    ...
+    program = asm.build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.isa.instructions import (
+    Bcc,
+    Branch,
+    Cmp,
+    Cond,
+    Halt,
+    Imm,
+    Instruction,
+    Jump,
+    Load,
+    Mov,
+    Movi,
+    Nop,
+    Op,
+    Operand,
+    Reg,
+    Store,
+)
+
+
+@dataclass(frozen=True)
+class Program:
+    """An immutable instruction sequence with resolved labels."""
+
+    instructions: tuple[Instruction, ...]
+    labels: dict[str, int]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def target(self, label: str) -> int:
+        """Return the instruction index a label refers to."""
+        return self.labels[label]
+
+
+class AssemblerError(ValueError):
+    """Raised for malformed programs (duplicate or undefined labels)."""
+
+
+def _operand(value: "int | Reg | Imm") -> Operand:
+    """Coerce a bare int into an ``Imm`` operand; pass registers through."""
+    if isinstance(value, Reg):
+        return value
+    if isinstance(value, Imm):
+        return value
+    return Imm(int(value))
+
+
+class Assembler:
+    """A fluent builder for :class:`Program` objects.
+
+    All emit methods return ``self`` so calls can be chained.  ``mark``
+    defines a label at the current position; branch targets may be
+    marked before or after the branch is emitted.
+    """
+
+    def __init__(self) -> None:
+        self._instructions: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._fresh = 0
+
+    # -- labels -----------------------------------------------------------
+    def mark(self, label: str) -> "Assembler":
+        if label in self._labels:
+            raise AssemblerError(f"duplicate label: {label!r}")
+        self._labels[label] = len(self._instructions)
+        return self
+
+    def fresh_label(self, hint: str = "L") -> str:
+        """Return a new unique label name (not yet marked)."""
+        self._fresh += 1
+        return f"{hint}_{self._fresh}"
+
+    # -- memory -----------------------------------------------------------
+    def load(self, rd: Reg, addr: int, size: int = 8) -> "Assembler":
+        self._instructions.append(Load(rd=rd, addr=addr, size=size))
+        return self
+
+    def load_ind(
+        self, rd: Reg, base: Reg, disp: int = 0, size: int = 8
+    ) -> "Assembler":
+        self._instructions.append(
+            Load(rd=rd, base=base, disp=disp, size=size)
+        )
+        return self
+
+    def store(
+        self, src: "int | Reg | Imm", addr: int, size: int = 8
+    ) -> "Assembler":
+        self._instructions.append(
+            Store(src=_operand(src), addr=addr, size=size)
+        )
+        return self
+
+    def store_ind(
+        self,
+        src: "int | Reg | Imm",
+        base: Reg,
+        disp: int = 0,
+        size: int = 8,
+    ) -> "Assembler":
+        self._instructions.append(
+            Store(src=_operand(src), base=base, disp=disp, size=size)
+        )
+        return self
+
+    # -- ALU ----------------------------------------------------------------
+    def op(
+        self, op: str, rd: Reg, rs1: Reg, src2: "int | Reg | Imm"
+    ) -> "Assembler":
+        self._instructions.append(
+            Op(op=op, rd=rd, rs1=rs1, src2=_operand(src2))
+        )
+        return self
+
+    def addi(self, rd: Reg, rs1: Reg, imm: int) -> "Assembler":
+        return self.op("add", rd, rs1, imm)
+
+    def subi(self, rd: Reg, rs1: Reg, imm: int) -> "Assembler":
+        return self.op("sub", rd, rs1, imm)
+
+    def add(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Assembler":
+        return self.op("add", rd, rs1, rs2)
+
+    def sub(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Assembler":
+        return self.op("sub", rd, rs1, rs2)
+
+    def mul(self, rd: Reg, rs1: Reg, src2: "int | Reg | Imm") -> "Assembler":
+        return self.op("mul", rd, rs1, src2)
+
+    def div(self, rd: Reg, rs1: Reg, src2: "int | Reg | Imm") -> "Assembler":
+        return self.op("div", rd, rs1, src2)
+
+    def mov(self, rd: Reg, rs: Reg) -> "Assembler":
+        self._instructions.append(Mov(rd=rd, rs=rs))
+        return self
+
+    def movi(self, rd: Reg, value: int) -> "Assembler":
+        self._instructions.append(Movi(rd=rd, value=value))
+        return self
+
+    # -- control flow -------------------------------------------------------
+    def cmp(self, rs1: Reg, src2: "int | Reg | Imm") -> "Assembler":
+        self._instructions.append(Cmp(rs1=rs1, src2=_operand(src2)))
+        return self
+
+    def br(
+        self, cond: Cond, rs1: Reg, src2: "int | Reg | Imm", target: str
+    ) -> "Assembler":
+        self._instructions.append(
+            Branch(cond=cond, rs1=rs1, src2=_operand(src2), target=target)
+        )
+        return self
+
+    def bcc(self, cond: Cond, target: str) -> "Assembler":
+        self._instructions.append(Bcc(cond=cond, target=target))
+        return self
+
+    def jump(self, target: str) -> "Assembler":
+        self._instructions.append(Jump(target=target))
+        return self
+
+    # -- misc ----------------------------------------------------------------
+    def nop(self, cycles: int = 1) -> "Assembler":
+        if cycles > 0:
+            self._instructions.append(Nop(cycles=cycles))
+        return self
+
+    def halt(self) -> "Assembler":
+        self._instructions.append(Halt())
+        return self
+
+    def raw(self, instructions: Sequence[Instruction]) -> "Assembler":
+        self._instructions.extend(instructions)
+        return self
+
+    # -- build ----------------------------------------------------------------
+    def build(self) -> Program:
+        """Validate label references and return the finished program."""
+        for idx, inst in enumerate(self._instructions):
+            target = getattr(inst, "target", None)
+            if target is not None and target not in self._labels:
+                raise AssemblerError(
+                    f"instruction {idx} references undefined label "
+                    f"{target!r}"
+                )
+        return Program(
+            instructions=tuple(self._instructions),
+            labels=dict(self._labels),
+        )

@@ -1,0 +1,36 @@
+"""Memory system: flat main memory, allocator, and caches.
+
+The data always lives in :class:`~repro.mem.memory.MainMemory` (eager
+version management keeps speculative stores in place, guarded by the
+undo log).  Caches model only tags, coherence permissions, speculative
+read/written bits, and LRU state — they are used for latency charging
+and conflict detection, never as a second copy of the data.
+"""
+
+from repro.mem.address import (
+    BLOCK_SIZE,
+    WORD_SIZE,
+    block_base,
+    block_of,
+    block_offset,
+    blocks_spanned,
+    word_index,
+)
+from repro.mem.allocator import BumpAllocator
+from repro.mem.cache import CacheLine, PermissionsOnlyCache, SetAssocCache
+from repro.mem.memory import MainMemory
+
+__all__ = [
+    "BLOCK_SIZE",
+    "WORD_SIZE",
+    "block_of",
+    "block_base",
+    "block_offset",
+    "blocks_spanned",
+    "word_index",
+    "MainMemory",
+    "BumpAllocator",
+    "SetAssocCache",
+    "PermissionsOnlyCache",
+    "CacheLine",
+]

@@ -1,0 +1,40 @@
+"""Address arithmetic helpers.
+
+The machine uses 64-byte cache blocks (Table 1) and an 8-byte machine
+word.  Blocks are identified by their *block number* (address // 64).
+"""
+
+from __future__ import annotations
+
+BLOCK_SIZE = 64
+"""Cache block size in bytes (Table 1)."""
+
+WORD_SIZE = 8
+"""Machine word size in bytes."""
+
+
+def block_of(addr: int) -> int:
+    """Return the block number containing byte address *addr*."""
+    return addr // BLOCK_SIZE
+
+
+def block_base(block: int) -> int:
+    """Return the first byte address of block number *block*."""
+    return block * BLOCK_SIZE
+
+
+def block_offset(addr: int) -> int:
+    """Return the offset of *addr* within its block."""
+    return addr % BLOCK_SIZE
+
+
+def word_index(addr: int) -> int:
+    """Return the word index (0..7) of *addr* within its block."""
+    return (addr % BLOCK_SIZE) // WORD_SIZE
+
+
+def blocks_spanned(addr: int, size: int) -> list[int]:
+    """Return the block numbers touched by an access of *size* bytes."""
+    first = block_of(addr)
+    last = block_of(addr + size - 1)
+    return list(range(first, last + 1))

@@ -1,0 +1,161 @@
+"""Set-associative caches with speculative read/written bits.
+
+The baseline HTM (paper §2) detects conflicts through the coherence
+protocol by adding a "speculatively-read" and a "speculatively-written"
+bit to each block in the primary data cache.  A small
+*permissions-only cache* (from OneTM / Blundell et al., ISCA 2007)
+holds coherence permissions and speculative bits — without data — for
+blocks evicted from the L1 during a transaction, which "essentially
+eliminates cache overflows entirely" on these workloads.
+
+Caches here track tags and metadata only; data lives in
+:class:`~repro.mem.memory.MainMemory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass
+class CacheLine:
+    """Metadata for one resident block."""
+
+    block: int
+    writable: bool = False  # False = shared/read permission, True = exclusive
+    spec_read: bool = False
+    spec_written: bool = False
+    lru: int = 0
+
+    @property
+    def speculative(self) -> bool:
+        return self.spec_read or self.spec_written
+
+
+class SetAssocCache:
+    """A set-associative cache of block metadata with LRU replacement."""
+
+    def __init__(
+        self, size_bytes: int, assoc: int, block_size: int = 64
+    ) -> None:
+        if size_bytes % (assoc * block_size):
+            raise ValueError("cache size must be a multiple of way size")
+        self.assoc = assoc
+        self.num_sets = size_bytes // (assoc * block_size)
+        self._sets: dict[int, list[CacheLine]] = {}
+        self._tick = 0
+
+    # -- internals -----------------------------------------------------------
+    def _set_for(self, block: int) -> list[CacheLine]:
+        return self._sets.setdefault(block % self.num_sets, [])
+
+    def _touch(self, line: CacheLine) -> None:
+        self._tick += 1
+        line.lru = self._tick
+
+    # -- lookup / insert -------------------------------------------------------
+    def lookup(self, block: int, touch: bool = True) -> Optional[CacheLine]:
+        """Return the line holding *block*, or None on a miss."""
+        for line in self._set_for(block):
+            if line.block == block:
+                if touch:
+                    self._touch(line)
+                return line
+        return None
+
+    def insert(
+        self, block: int, writable: bool
+    ) -> tuple[CacheLine, Optional[CacheLine]]:
+        """Insert (or upgrade) *block*; return ``(line, evicted_line)``.
+
+        The victim is the LRU line of the set.  Lines with speculative
+        bits set are only chosen as victims if every line in the set is
+        speculative (the HTM layer then spills the victim's bits to the
+        permissions-only cache, or declares overflow).
+        """
+        existing = self.lookup(block)
+        if existing is not None:
+            existing.writable = existing.writable or writable
+            return existing, None
+
+        cache_set = self._set_for(block)
+        evicted: Optional[CacheLine] = None
+        if len(cache_set) >= self.assoc:
+            non_spec = [ln for ln in cache_set if not ln.speculative]
+            candidates = non_spec if non_spec else cache_set
+            evicted = min(candidates, key=lambda ln: ln.lru)
+            cache_set.remove(evicted)
+
+        line = CacheLine(block=block, writable=writable)
+        self._touch(line)
+        cache_set.append(line)
+        return line, evicted
+
+    # -- invalidation / downgrade ------------------------------------------------
+    def invalidate(self, block: int) -> Optional[CacheLine]:
+        """Drop *block*; return the removed line (with its spec bits)."""
+        cache_set = self._set_for(block)
+        for line in cache_set:
+            if line.block == block:
+                cache_set.remove(line)
+                return line
+        return None
+
+    def downgrade(self, block: int) -> None:
+        """Drop write permission for *block* (block stays readable)."""
+        line = self.lookup(block, touch=False)
+        if line is not None:
+            line.writable = False
+
+    # -- speculation support --------------------------------------------------
+    def speculative_lines(self) -> Iterator[CacheLine]:
+        """Iterate all lines with a speculative bit set."""
+        for cache_set in self._sets.values():
+            for line in cache_set:
+                if line.speculative:
+                    yield line
+
+    def clear_speculative_bits(self) -> None:
+        """Clear all speculative read/written bits (commit or abort)."""
+        for cache_set in self._sets.values():
+            for line in cache_set:
+                line.spec_read = False
+                line.spec_written = False
+
+    # -- introspection --------------------------------------------------------
+    def resident_blocks(self) -> list[int]:
+        return sorted(
+            line.block
+            for cache_set in self._sets.values()
+            for line in cache_set
+        )
+
+    def __contains__(self, block: int) -> bool:
+        return self.lookup(block, touch=False) is not None
+
+
+class PermissionsOnlyCache(SetAssocCache):
+    """Holds permissions + speculative bits for blocks evicted from L1.
+
+    Structurally identical to a data cache but conceptually data-less;
+    because every cache here is metadata-only, the distinction is purely
+    semantic.  4 KB, 4-way in the paper's configuration (Table 1) — but
+    each entry covers a block with just a couple of metadata bits, so
+    its *reach* is far larger than a 4 KB data cache (this is the
+    property OneTM exploits).
+    """
+
+    # Each permissions-only entry is ~1 byte of metadata versus a 64-byte
+    # data line, so a 4KB structure covers 4096 blocks (256KB of data).
+    METADATA_BYTES_PER_ENTRY = 1
+
+    def __init__(
+        self, size_bytes: int, assoc: int, block_size: int = 64
+    ) -> None:
+        entries = size_bytes // self.METADATA_BYTES_PER_ENTRY
+        super().__init__(
+            size_bytes=entries * block_size,
+            assoc=assoc,
+            block_size=block_size,
+        )

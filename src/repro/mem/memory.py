@@ -1,0 +1,100 @@
+"""Flat, sparse, byte-addressable main memory.
+
+Memory is stored as a sparse map from block number to a 64-byte
+``bytearray``.  Integer reads and writes use little-endian encoding;
+reads sign-extend (the workloads use signed counters, e.g. reference
+counts that are decremented).
+"""
+
+from __future__ import annotations
+
+from repro.mem.address import BLOCK_SIZE, block_base, block_of
+
+_VALID_SIZES = (1, 2, 4, 8)
+
+
+class MainMemory:
+    """Architectural memory state shared by all cores."""
+
+    __slots__ = ("_blocks",)
+
+    def __init__(self) -> None:
+        self._blocks: dict[int, bytearray] = {}
+
+    def _block(self, block: int) -> bytearray:
+        data = self._blocks.get(block)
+        if data is None:
+            data = bytearray(BLOCK_SIZE)
+            self._blocks[block] = data
+        return data
+
+    # -- raw byte access ---------------------------------------------------
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        """Read *size* raw bytes starting at *addr* (may span blocks)."""
+        out = bytearray()
+        remaining = size
+        while remaining > 0:
+            block = block_of(addr)
+            offset = addr - block_base(block)
+            take = min(remaining, BLOCK_SIZE - offset)
+            out += self._block(block)[offset : offset + take]
+            addr += take
+            remaining -= take
+        return bytes(out)
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        """Write raw bytes starting at *addr* (may span blocks)."""
+        pos = 0
+        while pos < len(data):
+            block = block_of(addr + pos)
+            offset = (addr + pos) - block_base(block)
+            take = min(len(data) - pos, BLOCK_SIZE - offset)
+            self._block(block)[offset : offset + take] = data[
+                pos : pos + take
+            ]
+            pos += take
+
+    def read_block(self, block: int) -> bytes:
+        """Return the 64 bytes of a whole block."""
+        return bytes(self._block(block))
+
+    # -- integer access -------------------------------------------------------
+    def read(self, addr: int, size: int = 8) -> int:
+        """Read a signed little-endian integer of *size* bytes."""
+        if size not in _VALID_SIZES:
+            raise ValueError(f"unsupported access size: {size}")
+        return int.from_bytes(
+            self.read_bytes(addr, size), "little", signed=True
+        )
+
+    def write(self, addr: int, value: int, size: int = 8) -> None:
+        """Write a signed little-endian integer of *size* bytes.
+
+        Values outside the representable range are truncated to the low
+        *size* bytes, as real stores would be.
+        """
+        if size not in _VALID_SIZES:
+            raise ValueError(f"unsupported access size: {size}")
+        mask = (1 << (8 * size)) - 1
+        self.write_bytes(addr, (value & mask).to_bytes(size, "little"))
+
+    # -- copying ----------------------------------------------------------
+    def clone(self) -> "MainMemory":
+        """Return an independent copy (same contents, separate storage).
+
+        Used to run the parallel and sequential configurations of a
+        workload from identical initial memory images.
+        """
+        copy = MainMemory()
+        copy._blocks = {
+            block: bytearray(data) for block, data in self._blocks.items()
+        }
+        return copy
+
+    # -- introspection --------------------------------------------------------
+    def touched_blocks(self) -> list[int]:
+        """Return the block numbers that have ever been written."""
+        return sorted(self._blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MainMemory({len(self._blocks)} blocks)"

@@ -1,0 +1,126 @@
+"""Simulated machine configuration (paper Table 1).
+
+Defaults reproduce the paper's configuration:
+
+===========================  =================================================
+Processor                    32 in-order x86 cores, 1 IPC
+L1 cache                     64 KB, 4-way set associative, 64 B blocks
+L2 cache                     private, 1 MB, 4-way, 64 B blocks, 10-cycle hit
+Memory                       100-cycle DRAM lookup latency
+Permissions-only cache       4 KB, 4-way set associative
+Coherence                    directory-based protocol, 20-cycle hop latency
+RETCON structures            16-entry initial (original) value buffer,
+                             16-entry constraint buffer,
+                             32-entry symbolic store buffer
+===========================  =================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """All machine parameters, with Table 1 defaults."""
+
+    # Processor
+    ncores: int = 32
+    ipc: int = 1
+
+    # Caches (sizes in bytes)
+    block_bytes: int = 64
+    l1_bytes: int = 64 * 1024
+    l1_assoc: int = 4
+    l2_bytes: int = 1024 * 1024
+    l2_assoc: int = 4
+    l2_hit_cycles: int = 10
+    dram_cycles: int = 100
+    perm_cache_bytes: int = 4 * 1024
+    perm_cache_assoc: int = 4
+
+    # Coherence
+    hop_cycles: int = 20
+
+    # RETCON structures (paper §5.1: 16-entry original value buffer,
+    # 16-entry constraint buffer, 32-entry symbolic store buffer).
+    ivb_entries: int = 16
+    constraint_entries: int = 16
+    ssb_entries: int = 32
+
+    # Idealized RETCON (paper §5.3 "Comparison to idealized system"):
+    # unlimited structures, parallel commit-time reacquisition, free
+    # commit-time stores.
+    idealized: bool = False
+
+    # Predictor (paper §5.1): a violated constraint trains down
+    # aggressively, requiring `predictor_backoff` conflicts on that
+    # block before symbolic tracking is attempted again.
+    predictor_train_threshold: int = 1
+    predictor_backoff: int = 100
+
+    # Contention management: cycles a stalled requester waits before
+    # re-attempting a conflicting access.
+    stall_retry_cycles: int = 20
+
+    # Zero-cycle rollback (paper §2: the baseline models an efficient
+    # zero-cycle rollback latency).
+    abort_cycles: int = 0
+
+    def rows(self) -> list[tuple[str, str]]:
+        """Return (parameter, value) rows in Table 1's format."""
+        return [
+            ("Processor", f"{self.ncores} in-order cores, {self.ipc} IPC"),
+            (
+                "L1 cache",
+                f"{self.l1_bytes // 1024} KB, {self.l1_assoc}-way set "
+                f"associative, {self.block_bytes}B blocks",
+            ),
+            (
+                "L2 cache",
+                f"Private, {self.l2_bytes // (1024 * 1024)}MB, "
+                f"{self.l2_assoc}-way set associative, "
+                f"{self.block_bytes}B blocks, {self.l2_hit_cycles}-cycle "
+                "hit latency",
+            ),
+            ("Memory", f"{self.dram_cycles} cycles DRAM lookup latency"),
+            (
+                "Permissions-only cache",
+                f"{self.perm_cache_bytes // 1024}KB, "
+                f"{self.perm_cache_assoc}-way set associative",
+            ),
+            (
+                "Coherence",
+                f"Directory-based protocol, {self.hop_cycles} cycle hop "
+                "latency",
+            ),
+            (
+                "RETCON structures",
+                f"{self.ivb_entries}-entry original value buffer, "
+                f"{self.constraint_entries}-entry constraint buffer, "
+                f"{self.ssb_entries}-entry symbolic store buffer",
+            ),
+        ]
+
+    def with_cores(self, ncores: int) -> "MachineConfig":
+        """Return a copy with a different core count."""
+        return replace(self, ncores=ncores)
+
+    def idealize(self) -> "MachineConfig":
+        """Return the §5.3 idealized variant of this configuration."""
+        return replace(self, idealized=True)
+
+
+def small_test_config(ncores: int = 2, **overrides) -> MachineConfig:
+    """A tiny configuration for unit tests (small caches, 2 cores)."""
+    params = dict(
+        ncores=ncores,
+        l1_bytes=1024,
+        l1_assoc=2,
+        l2_bytes=4096,
+        l2_assoc=2,
+        perm_cache_bytes=256,
+        perm_cache_assoc=2,
+    )
+    params.update(overrides)
+    return MachineConfig(**params)

@@ -1,0 +1,326 @@
+"""The in-order core: an ISA interpreter with transactional hooks.
+
+Each core executes its :class:`~repro.sim.script.ThreadScript` one
+instruction per :meth:`Core.step`, charging 1 cycle per instruction
+plus memory latency (1 IPC in-order, Table 1).  All memory operations
+go through the TM system; the core handles the control-flow signals
+(:class:`StallRetry`, :class:`TxnAborted`, remote dooming) and
+attributes cycles to the busy/conflict/barrier/other buckets.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.core.buffers import ConditionCodes
+from repro.htm.events import StallRetry, TxnAborted
+from repro.htm.system import BaseTMSystem
+from repro.isa.instructions import (
+    Bcc,
+    Branch,
+    Cmp,
+    Halt,
+    Imm,
+    Jump,
+    Load,
+    Mov,
+    Movi,
+    Nop,
+    Op,
+    Reg,
+    Store,
+    apply_op,
+    evaluate_cond,
+)
+from repro.isa.program import Program
+from repro.isa.registers import RegisterFile
+from repro.sim.script import Barrier, ThreadScript, Txn, Work
+from repro.sim.stats import CoreStats
+
+
+class CoreState(enum.Enum):
+    RUNNING = "running"
+    AT_BARRIER = "at_barrier"
+    DONE = "done"
+
+
+class Core:
+    """One simulated in-order processor."""
+
+    def __init__(
+        self,
+        cid: int,
+        system: BaseTMSystem,
+        stats: CoreStats,
+        script: ThreadScript,
+    ) -> None:
+        self.cid = cid
+        self.system = system
+        self.stats = stats
+        self.items = list(script.items)
+        self.config = system.config
+        self.engine = system.engine(cid)
+        self.cc = self.engine.cc if self.engine is not None else (
+            ConditionCodes()
+        )
+        self.regs = RegisterFile()
+        self.cycle = 0
+        self.state = CoreState.RUNNING
+        self.item_idx = 0
+        # Transaction-attempt state.
+        self.pc = 0
+        self.in_txn = False
+        self.restarting = False
+        self.attempt_busy = 0
+        self.attempt_start = 0
+        self.consecutive_aborts = 0
+        self.consecutive_stalls = 0
+        self._txn_regs: Optional[list[int]] = None
+
+    # ------------------------------------------------------------------
+    def done(self) -> bool:
+        return self.state is CoreState.DONE
+
+    def current_item(self):
+        if self.item_idx >= len(self.items):
+            return None
+        return self.items[self.item_idx]
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Execute one scheduling step, advancing ``self.cycle``."""
+        item = self.current_item()
+        if item is None:
+            self.state = CoreState.DONE
+            return
+
+        if isinstance(item, Work):
+            self.cycle += item.cycles
+            self.stats.busy += item.cycles
+            self.item_idx += 1
+            return
+
+        if isinstance(item, Barrier):
+            # The machine releases us; we just park.
+            self.state = CoreState.AT_BARRIER
+            return
+
+        assert isinstance(item, Txn)
+        self._step_txn(item)
+
+    # ------------------------------------------------------------------
+    def _step_txn(self, item: Txn) -> None:
+        if not self.in_txn:
+            self.system.begin(self.cid, restart=self.restarting)
+            self.restarting = False
+            self.in_txn = True
+            self.pc = 0
+            self.attempt_busy = 0
+            self.attempt_start = self.cycle
+            self._txn_regs = self.regs.snapshot()
+
+        doom_reason = self.system.poll_doomed(self.cid)
+        if doom_reason is not None:
+            self._handle_abort()
+            return
+
+        program = item.program
+        if self.pc >= len(program):
+            self._try_commit()
+            return
+
+        inst = program.instructions[self.pc]
+        try:
+            latency = self._execute(inst, program)
+        except StallRetry:
+            self._charge_stall()
+            return
+        except TxnAborted:
+            self._handle_abort()
+            return
+        self.consecutive_stalls = 0
+        self.attempt_busy += latency
+        self.cycle += latency
+
+    def _charge_stall(self) -> None:
+        """Wait before retrying a conflicting access.
+
+        The retry interval backs off exponentially (capped) so a core
+        stalled behind a long transaction polls progressively less
+        often; the waited cycles count as conflict time either way.
+        """
+        self.consecutive_stalls += 1
+        stall = min(
+            self.config.stall_retry_cycles
+            * (1 << min(self.consecutive_stalls - 1, 4)),
+            400,
+        )
+        self.cycle += stall
+        self.stats.conflict += stall
+        self.stats.stall_events += 1
+
+    def _try_commit(self) -> None:
+        try:
+            result = self.system.commit(self.cid)
+        except StallRetry:
+            self._charge_stall()
+            return
+        except TxnAborted:
+            self._handle_abort()
+            return
+        self.consecutive_stalls = 0
+        for reg, value in result.register_repairs:
+            self.regs.write(Reg(reg), value)
+        self.consecutive_aborts = 0
+        label = self.items[self.item_idx].label
+        self.stats.label_commits[label] = (
+            self.stats.label_commits.get(label, 0) + 1
+        )
+        self.cycle += result.latency
+        self.stats.other += result.latency
+        self.stats.busy += self.attempt_busy
+        duration = self.cycle - self.attempt_start
+        # record_txn pairs with the TM system's pre-commit sample.
+        self.system.stats.record_txn(self.cid, duration, result.latency)
+        self.in_txn = False
+        self.item_idx += 1
+        self.pc = 0
+
+    def _handle_abort(self) -> None:
+        """The current attempt is dead: charge it to conflict time and
+        restart the transaction (zero-cycle rollback)."""
+        self.stats.conflict += self.attempt_busy
+        item = self.current_item()
+        if item is not None and hasattr(item, "label"):
+            self.stats.label_aborts[item.label] = (
+                self.stats.label_aborts.get(item.label, 0) + 1
+            )
+        self.attempt_busy = 0
+        if self._txn_regs is not None:
+            self.regs.restore(self._txn_regs)
+        # Rollback itself is zero-cycle (paper §2), but the request that
+        # discovered the conflict still took a cycle, and repeated
+        # aborts back off (with a per-core skew that breaks the
+        # symmetric dueling-upgrades livelock of abort-heavy policies).
+        self.consecutive_stalls = 0
+        self.consecutive_aborts += 1
+        backoff = min(
+            400, (self.consecutive_aborts - 1) * (9 + self.cid % 13)
+        )
+        restart = max(1, self.config.abort_cycles) + backoff
+        self.cycle += restart
+        self.stats.conflict += restart
+        self.in_txn = False
+        self.restarting = True
+        self.pc = 0
+
+    # ------------------------------------------------------------------
+    # Instruction dispatch
+    # ------------------------------------------------------------------
+    def _operand(self, operand) -> int:
+        if isinstance(operand, Reg):
+            return self.regs.read(operand)
+        assert isinstance(operand, Imm)
+        return operand.value
+
+    def _operand_sym(self, operand):
+        if self.engine is not None and isinstance(operand, Reg):
+            return self.engine.reg_sym(operand)
+        return None
+
+    def _effective_addr(self, inst) -> int:
+        if inst.base is None:
+            return inst.addr
+        # Address calculation consumes the base register: a symbolic
+        # base is pinned with an equality constraint (§4.2).
+        if self.engine is not None:
+            self.engine.equality_constrain_sym(self.engine.reg_sym(inst.base))
+        return self.regs.read(inst.base) + inst.disp
+
+    def _execute(self, inst, program: Program) -> int:
+        """Execute one instruction; return its latency in cycles."""
+        engine = self.engine
+        next_pc = self.pc + 1
+        latency = 1
+
+        if isinstance(inst, Load):
+            addr = self._effective_addr(inst)
+            result = self.system.load(self.cid, addr, inst.size)
+            self.regs.write(inst.rd, result.value)
+            if engine is not None:
+                engine.set_reg_sym(inst.rd, result.sym)
+            latency = result.latency
+        elif isinstance(inst, Store):
+            addr = self._effective_addr(inst)
+            value = self._operand(inst.src)
+            sym = self._operand_sym(inst.src)
+            result = self.system.store(
+                self.cid, addr, inst.size, value, sym=sym
+            )
+            latency = result.latency
+        elif isinstance(inst, Op):
+            rs1_val = self.regs.read(inst.rs1)
+            src2_val = self._operand(inst.src2)
+            self.regs.write(inst.rd, apply_op(inst.op, rs1_val, src2_val))
+            if engine is not None:
+                engine.alu(
+                    inst.op,
+                    inst.rd,
+                    engine.reg_sym(inst.rs1),
+                    self._operand_sym(inst.src2),
+                    rs1_val,
+                    src2_val,
+                )
+        elif isinstance(inst, Mov):
+            self.regs.write(inst.rd, self.regs.read(inst.rs))
+            if engine is not None:
+                engine.set_reg_sym(inst.rd, engine.reg_sym(inst.rs))
+        elif isinstance(inst, Movi):
+            self.regs.write(inst.rd, inst.value)
+            if engine is not None:
+                engine.set_reg_sym(inst.rd, None)
+        elif isinstance(inst, Cmp):
+            lhs = self.regs.read(inst.rs1)
+            rhs = self._operand(inst.src2)
+            if engine is not None:
+                engine.on_cmp(
+                    lhs,
+                    rhs,
+                    engine.reg_sym(inst.rs1),
+                    self._operand_sym(inst.src2),
+                )
+            else:
+                self.cc.set_concrete(lhs, rhs)
+        elif isinstance(inst, Branch):
+            lhs = self.regs.read(inst.rs1)
+            rhs = self._operand(inst.src2)
+            taken = evaluate_cond(inst.cond, lhs, rhs)
+            if engine is not None:
+                engine.on_branch(
+                    inst.cond,
+                    engine.reg_sym(inst.rs1),
+                    self._operand_sym(inst.src2),
+                    lhs,
+                    rhs,
+                    taken,
+                )
+            if taken:
+                next_pc = program.target(inst.target)
+        elif isinstance(inst, Bcc):
+            taken = self.cc.evaluate(inst.cond)
+            if engine is not None:
+                engine.on_bcc(inst.cond, taken)
+            if taken:
+                next_pc = program.target(inst.target)
+        elif isinstance(inst, Jump):
+            next_pc = program.target(inst.target)
+        elif isinstance(inst, Nop):
+            latency = inst.cycles
+        elif isinstance(inst, Halt):
+            next_pc = len(program)
+        else:  # pragma: no cover - exhaustive
+            raise TypeError(f"unknown instruction: {inst!r}")
+
+        self.pc = next_pc
+        return latency

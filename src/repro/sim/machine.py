@@ -1,0 +1,132 @@
+"""The multicore machine: cores + scheduler + barrier coordination.
+
+Scheduling is deterministic: the runnable core with the smallest local
+cycle count (ties broken by core id) executes one step.  This
+interleaves cores at instruction granularity while keeping every TM
+operation atomic, which is how the paper's sequentially-consistent
+simulator behaves from the protocol's point of view.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.coherence.directory import CoherenceFabric
+from repro.htm.system import BaseTMSystem, build_system
+from repro.mem.memory import MainMemory
+from repro.sim.config import MachineConfig
+from repro.sim.cpu import Core, CoreState
+from repro.sim.script import ThreadScript
+from repro.sim.stats import MachineStats
+
+
+class SimulationTimeout(RuntimeError):
+    """The run exceeded the cycle watchdog (livelock guard)."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation."""
+
+    cycles: int
+    stats: MachineStats
+    memory: MainMemory
+    system_name: str
+
+    @property
+    def commits(self) -> int:
+        return self.stats.total_commits()
+
+    @property
+    def aborts(self) -> int:
+        return self.stats.total_aborts()
+
+
+class Machine:
+    """An N-core machine executing one script per core."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        system_name: str,
+        scripts: list[ThreadScript],
+        memory: MainMemory,
+    ) -> None:
+        if len(scripts) > config.ncores:
+            raise ValueError(
+                f"{len(scripts)} scripts but only {config.ncores} cores"
+            )
+        self.config = config
+        self.memory = memory
+        self.stats = MachineStats(config.ncores)
+        self.fabric = CoherenceFabric(config, config.ncores)
+        self.system: BaseTMSystem = build_system(
+            system_name, config, memory, self.fabric, self.stats
+        )
+        # Pad with empty scripts so every core exists.
+        padded = scripts + [
+            ThreadScript() for _ in range(config.ncores - len(scripts))
+        ]
+        self.cores = [
+            Core(cid, self.system, self.stats.core(cid), script)
+            for cid, script in enumerate(padded)
+        ]
+        self.system.clock = lambda cid: self.cores[cid].cycle
+
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = 500_000_000) -> RunResult:
+        """Run every core to completion; return the results."""
+        heap: list[tuple[int, int]] = []
+        for core in self.cores:
+            if core.current_item() is None:
+                core.state = CoreState.DONE
+            else:
+                heapq.heappush(heap, (core.cycle, core.cid))
+
+        barrier_waiters: list[Core] = []
+        while heap or barrier_waiters:
+            if not heap:
+                self._release_barrier(barrier_waiters, heap)
+                continue
+            cycle, cid = heapq.heappop(heap)
+            core = self.cores[cid]
+            if cycle > max_cycles:
+                raise SimulationTimeout(
+                    f"core {cid} exceeded {max_cycles} cycles"
+                )
+            core.step()
+            if core.state is CoreState.AT_BARRIER:
+                barrier_waiters.append(core)
+                if len(barrier_waiters) + self._done_count() == len(
+                    self.cores
+                ):
+                    self._release_barrier(barrier_waiters, heap)
+            elif core.state is not CoreState.DONE:
+                heapq.heappush(heap, (core.cycle, core.cid))
+
+        makespan = max(core.cycle for core in self.cores)
+        return RunResult(
+            cycles=makespan,
+            stats=self.stats,
+            memory=self.memory,
+            system_name=self.system.name,
+        )
+
+    def _done_count(self) -> int:
+        return sum(1 for core in self.cores if core.done())
+
+    def _release_barrier(
+        self, waiters: list[Core], heap: list[tuple[int, int]]
+    ) -> None:
+        """All live cores reached the barrier: release them together."""
+        if not waiters:
+            raise SimulationTimeout("scheduler empty with no barrier waiters")
+        release = max(core.cycle for core in waiters)
+        for core in waiters:
+            core.stats.barrier += release - core.cycle
+            core.cycle = release
+            core.state = CoreState.RUNNING
+            core.item_idx += 1  # move past the Barrier item
+            heapq.heappush(heap, (core.cycle, core.cid))
+        waiters.clear()

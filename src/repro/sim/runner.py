@@ -1,0 +1,125 @@
+"""High-level experiment driver.
+
+``run_workload`` generates a workload, simulates it on the requested
+TM system, runs the matching sequential baseline, and returns speedup,
+time breakdown, abort counts, RETCON structure statistics (Table 3),
+and post-run invariant checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine, RunResult
+from repro.sim.script import concatenate
+from repro.workloads.base import GeneratedWorkload, InvariantResult
+from repro.workloads.registry import get_workload
+
+
+@dataclass
+class WorkloadResult:
+    """Everything measured for one (workload, system, ncores) point."""
+
+    workload: str
+    system: str
+    ncores: int
+    cycles: int
+    seq_cycles: int
+    commits: int
+    aborts: int
+    aborts_by_reason: dict[str, int]
+    breakdown: dict[str, float]
+    table3: dict[str, tuple[float, float]]
+    commit_stall_percent: float
+    invariants: list[InvariantResult] = field(default_factory=list)
+    #: (commits, aborted attempts) per transaction label
+    by_label: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        return self.seq_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def invariants_ok(self) -> bool:
+        return all(inv.ok for inv in self.invariants)
+
+    def failed_invariants(self) -> list[InvariantResult]:
+        return [inv for inv in self.invariants if not inv.ok]
+
+
+def run_sequential(
+    generated: GeneratedWorkload,
+    config: Optional[MachineConfig] = None,
+) -> RunResult:
+    """Run the workload's total work on a single core (the paper's
+    "seq" baseline that Figures 1, 3, and 9 normalize against)."""
+    config = config or MachineConfig()
+    sequential = concatenate(generated.scripts)
+    machine = Machine(
+        config.with_cores(1), "eager", [sequential], generated.memory.clone()
+    )
+    return machine.run()
+
+
+def run_workload(
+    name: str,
+    system: str = "retcon",
+    ncores: int = 32,
+    seed: int = 1,
+    scale: float = 1.0,
+    config: Optional[MachineConfig] = None,
+    seq_cycles: Optional[int] = None,
+    check: bool = True,
+) -> WorkloadResult:
+    """Simulate *name* on *system* and compare against sequential.
+
+    Pass ``seq_cycles`` (from a prior :func:`run_sequential`) to avoid
+    re-running the baseline when sweeping systems.
+    """
+    config = (config or MachineConfig()).with_cores(ncores)
+    workload = get_workload(name)
+    generated = workload.generate(ncores, seed=seed, scale=scale)
+
+    machine = Machine(
+        config, system, generated.scripts, generated.memory.clone()
+    )
+    parallel = machine.run()
+
+    if seq_cycles is None:
+        seq_cycles = run_sequential(generated, config).cycles
+
+    invariants = (
+        generated.check_invariants(parallel.memory) if check else []
+    )
+    stats = parallel.stats
+    return WorkloadResult(
+        workload=name,
+        system=system,
+        ncores=ncores,
+        cycles=parallel.cycles,
+        seq_cycles=seq_cycles,
+        commits=stats.total_commits(),
+        aborts=stats.total_aborts(),
+        aborts_by_reason=stats.aborts_by_reason(),
+        breakdown=stats.breakdown(),
+        table3=stats.table3_row(),
+        commit_stall_percent=stats.commit_stall_percent(),
+        invariants=invariants,
+        by_label=stats.label_summary(),
+    )
+
+
+def generate_and_baseline(
+    name: str,
+    ncores: int = 32,
+    seed: int = 1,
+    scale: float = 1.0,
+    config: Optional[MachineConfig] = None,
+) -> tuple[GeneratedWorkload, int]:
+    """Generate once and measure the sequential baseline (for sweeps)."""
+    config = (config or MachineConfig()).with_cores(ncores)
+    generated = get_workload(name).generate(ncores, seed=seed, scale=scale)
+    seq = run_sequential(generated, config)
+    return generated, seq.cycles

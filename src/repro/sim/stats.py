@@ -1,0 +1,184 @@
+"""Execution statistics: time breakdown and Table 3 structure usage.
+
+The paper's Figures 4 and 10 break execution time into:
+
+* ``busy`` — all time spent not stalled on synchronization (work in
+  transactions that ultimately commit, plus non-transactional work);
+* ``barrier`` — time stalled at a barrier (load imbalance);
+* ``conflict`` — time stalled by another processor plus work performed
+  in transactions that are ultimately aborted;
+* ``other`` — all other synchronization-related stalls (here: the
+  RETCON pre-commit repair latency).
+
+Table 3 aggregates per-transaction samples of the RETCON structures:
+average and maximum blocks lost, blocks tracked, symbolic registers,
+private (buffered) stores, constraint addresses, commit cycles, and
+the percentage of transaction lifetime spent in pre-commit repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.engine import TxnRetconSample
+
+
+@dataclass
+class TxnSample:
+    """One committed transaction's timing plus RETCON structure usage."""
+
+    duration_cycles: int
+    commit_cycles: int
+    retcon: Optional[TxnRetconSample] = None
+
+
+@dataclass
+class CoreStats:
+    """Cycle attribution and event counts for one core."""
+
+    busy: int = 0
+    conflict: int = 0
+    barrier: int = 0
+    other: int = 0
+    commits: int = 0
+    aborts: dict[str, int] = field(default_factory=dict)
+    stall_events: int = 0
+    #: committed / aborted transaction counts per txn label
+    label_commits: dict[str, int] = field(default_factory=dict)
+    label_aborts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_aborts(self) -> int:
+        return sum(self.aborts.values())
+
+    @property
+    def total(self) -> int:
+        return self.busy + self.conflict + self.barrier + self.other
+
+
+@dataclass
+class _Agg:
+    """Streaming average/maximum."""
+
+    total: float = 0.0
+    count: int = 0
+    maximum: float = 0.0
+
+    def add(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MachineStats:
+    """All statistics for one simulation run."""
+
+    RETCON_FIELDS = (
+        "blocks_lost",
+        "blocks_tracked",
+        "symbolic_registers",
+        "private_stores",
+        "constraint_addresses",
+        "commit_cycles",
+    )
+
+    def __init__(self, ncores: int) -> None:
+        self.ncores = ncores
+        self._cores = [CoreStats() for _ in range(ncores)]
+        self._retcon = {name: _Agg() for name in self.RETCON_FIELDS}
+        self._txn_cycles = 0
+        self._txn_commit_cycles = 0
+        self._pending_retcon: list[Optional[TxnRetconSample]] = [
+            None
+        ] * ncores
+
+    # ------------------------------------------------------------------
+    def core(self, core: int) -> CoreStats:
+        return self._cores[core]
+
+    @property
+    def cores(self) -> list[CoreStats]:
+        return list(self._cores)
+
+    # ------------------------------------------------------------------
+    # RETCON per-transaction samples
+    # ------------------------------------------------------------------
+    def record_retcon_sample(
+        self, core: int, sample: TxnRetconSample
+    ) -> None:
+        """Called by the TM system at pre-commit; paired with the
+        interpreter's :meth:`record_txn` for the same transaction."""
+        self._pending_retcon[core] = sample
+
+    def record_txn(self, core: int, duration: int, commit_cycles: int) -> None:
+        """A transaction committed after *duration* total cycles."""
+        self._txn_cycles += duration
+        self._txn_commit_cycles += commit_cycles
+        sample = self._pending_retcon[core]
+        self._pending_retcon[core] = None
+        if sample is None:
+            return
+        for name in self.RETCON_FIELDS:
+            self._retcon[name].add(getattr(sample, name))
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def total_commits(self) -> int:
+        return sum(c.commits for c in self._cores)
+
+    def total_aborts(self) -> int:
+        return sum(c.total_aborts for c in self._cores)
+
+    def aborts_by_reason(self) -> dict[str, int]:
+        merged: dict[str, int] = {}
+        for core in self._cores:
+            for reason, count in core.aborts.items():
+                merged[reason] = merged.get(reason, 0) + count
+        return merged
+
+    def breakdown(self) -> dict[str, float]:
+        """Normalized busy/conflict/barrier/other fractions."""
+        busy = sum(c.busy for c in self._cores)
+        conflict = sum(c.conflict for c in self._cores)
+        barrier = sum(c.barrier for c in self._cores)
+        other = sum(c.other for c in self._cores)
+        total = busy + conflict + barrier + other
+        if total == 0:
+            return {"busy": 0.0, "conflict": 0.0, "barrier": 0.0, "other": 0.0}
+        return {
+            "busy": busy / total,
+            "conflict": conflict / total,
+            "barrier": barrier / total,
+            "other": other / total,
+        }
+
+    def table3_row(self) -> dict[str, tuple[float, float]]:
+        """(average, maximum) for each Table 3 column."""
+        return {
+            name: (agg.mean, agg.maximum)
+            for name, agg in self._retcon.items()
+        }
+
+    def label_summary(self) -> dict[str, tuple[int, int]]:
+        """(commits, aborted attempts) per transaction label."""
+        merged: dict[str, tuple[int, int]] = {}
+        for core in self._cores:
+            for label, count in core.label_commits.items():
+                commits, aborts = merged.get(label, (0, 0))
+                merged[label] = (commits + count, aborts)
+            for label, count in core.label_aborts.items():
+                commits, aborts = merged.get(label, (0, 0))
+                merged[label] = (commits, aborts + count)
+        return merged
+
+    def commit_stall_percent(self) -> float:
+        """Pre-commit repair cycles as % of transaction lifetime."""
+        if self._txn_cycles == 0:
+            return 0.0
+        return 100.0 * self._txn_commit_cycles / self._txn_cycles

@@ -1,0 +1,35 @@
+"""Workload models (paper Table 2).
+
+Each workload builds its shared data structures in simulated memory
+and emits per-thread :class:`~repro.sim.script.ThreadScript` programs
+whose *conflict structure* matches the paper's characterization:
+
+* ``genome`` / ``genome-sz`` — hashtable inserts; the ``-sz`` variant
+  adds the resizable hashtable's size-field increments.
+* ``intruder`` family — shared work queues (head indices used as
+  addresses: not repairable), red-black-tree rebalancing, hashtable.
+* ``kmeans`` — per-iteration barrier phases with small accumulator
+  transactions on shared cluster centers.
+* ``labyrinth`` — long, variable-length routing transactions: load
+  imbalance, few conflicts.
+* ``ssca2`` — tiny transactions over a large graph: bad caching, few
+  conflicts.
+* ``vacation`` family — reservation transactions over a tree (unopt)
+  or hashtable (``_opt``), with the ``-sz`` size-field pattern.
+* ``yada`` — irregular mesh traversals: inherent, address-dependent
+  conflicts that repair cannot help.
+* ``python`` / ``python_opt`` — GIL-elided bytecode interpretation:
+  shared interpreter globals (unopt) and reference-count updates on
+  hot objects (both), the paper's headline RETCON win.
+"""
+
+from repro.workloads.base import InvariantResult, Workload, WorkloadSpec
+from repro.workloads.registry import WORKLOADS, get_workload
+
+__all__ = [
+    "Workload",
+    "WorkloadSpec",
+    "InvariantResult",
+    "WORKLOADS",
+    "get_workload",
+]

@@ -1,0 +1,125 @@
+"""``bayes`` — Bayesian network structure learning (STAMP).
+
+The paper ran bayes but excluded it from the scalability figures
+because "we could not extract useful conclusions from [it] due to
+extremely high runtime variability" (§3); it still appears in
+Table 3's structure-utilization data.  We model it the same way: the
+workload is registered and measurable (and shows up in Table 3 when
+requested) but is not part of ``ALL_VARIANTS``.
+
+The model: learner threads propose dependency-graph edits.  Each
+transaction scores a candidate parent set (long, highly variable
+busy time), walks part of the shared adjacency structure, and commits
+an edge flip plus a score update.  The variability comes from the
+heavy-tailed scoring cost and from whole-subgraph rescoring bursts.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Assembler
+from repro.isa.registers import R1, R2
+from repro.mem.address import BLOCK_SIZE
+from repro.mem.allocator import BumpAllocator
+from repro.mem.memory import MainMemory
+from repro.sim.script import ThreadScript
+from repro.workloads.base import (
+    GeneratedWorkload,
+    InvariantResult,
+    Workload,
+    WorkloadSpec,
+    make_rng,
+)
+
+
+class BayesWorkload(Workload):
+    VARIABLES = 32
+    EDITS_PER_THREAD = 10
+    #: heavy-tailed scoring cost (cycles)
+    SCORE_BUSY_BASE = 150
+    SCORE_BUSY_TAIL = 2500
+    TAIL_PROB = 0.15
+    WORK_BUSY = 60
+
+    def __init__(self) -> None:
+        self.spec = WorkloadSpec(
+            name="bayes",
+            description=(
+                "From STAMP, Bayesian network structure learning "
+                "(excluded from the scalability figures, as in the "
+                "paper, due to high runtime variability)"
+            ),
+            parameters="v32 r1024 n2 p20 (scaled)",
+        )
+
+    def generate(
+        self, nthreads: int, seed: int = 1, scale: float = 1.0
+    ) -> GeneratedWorkload:
+        memory = MainMemory()
+        alloc = BumpAllocator()
+        rng = make_rng(seed)
+
+        # Adjacency matrix row per variable (one block each) plus a
+        # shared global-score accumulator.
+        row_addrs = [
+            alloc.alloc_block(8 * 8) for _ in range(self.VARIABLES)
+        ]
+        score_addr = alloc.alloc_block(8)
+        memory.write(score_addr, 0)
+        for addr in row_addrs:
+            for word in range(8):
+                memory.write(addr + 8 * word, 0)
+
+        edits = self.scaled(self.EDITS_PER_THREAD, scale)
+        edge_flips = [0] * self.VARIABLES
+        total_score_delta = 0
+
+        scripts = []
+        for _thread in range(nthreads):
+            script = ThreadScript()
+            for _ in range(edits):
+                variable = rng.randrange(self.VARIABLES)
+                slot = rng.randrange(8)
+                delta = rng.randrange(1, 12)
+                busy = self.SCORE_BUSY_BASE
+                if rng.random() < self.TAIL_PROB:
+                    busy += rng.randrange(self.SCORE_BUSY_TAIL)
+                edge_flips[variable] += 1
+                total_score_delta += delta
+
+                asm = Assembler()
+                asm.nop(busy)  # score the candidate parent set
+                # Flip an edge bit-counter in the variable's row.
+                cell = row_addrs[variable] + 8 * slot
+                asm.load(R1, cell)
+                asm.addi(R1, R1, 1)
+                asm.store(R1, cell)
+                # Update the shared global score (the auxiliary datum).
+                asm.load(R2, score_addr)
+                asm.addi(R2, R2, delta)
+                asm.store(R2, score_addr)
+                script.add_txn(asm.build(), label="edge-edit")
+                script.add_work(self.WORK_BUSY)
+            scripts.append(script)
+
+        def check(mem: MainMemory) -> InvariantResult:
+            if mem.read(score_addr) != total_score_delta:
+                return InvariantResult(
+                    "score",
+                    False,
+                    f"global score {mem.read(score_addr)} != "
+                    f"{total_score_delta}",
+                )
+            flips = sum(
+                mem.read(addr + 8 * w)
+                for addr in row_addrs
+                for w in range(8)
+            )
+            expected = sum(edge_flips)
+            ok = flips == expected
+            return InvariantResult(
+                "edges", ok, f"{flips} flips vs {expected} edits"
+            )
+
+        return GeneratedWorkload(
+            memory=memory, scripts=scripts, checks=[check]
+        )

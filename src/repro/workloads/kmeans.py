@@ -1,0 +1,110 @@
+"""``kmeans`` — partition-based clustering (STAMP).
+
+Threads assign points to clusters (non-transactional distance
+computation) and then accumulate each point's coordinates into the
+shared cluster centers inside small transactions; a barrier separates
+iterations.  Center updates are load/add/store chains — symbolically
+trackable — but the assignment work dominates, so conflicts cost
+little on any system (the paper's kmeans scales comparably on all
+three configurations, with visible barrier time in the breakdown).
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Assembler
+from repro.isa.registers import R1
+from repro.mem.allocator import BumpAllocator
+from repro.mem.memory import MainMemory
+from repro.sim.script import ThreadScript
+from repro.workloads.base import (
+    GeneratedWorkload,
+    InvariantResult,
+    Workload,
+    WorkloadSpec,
+    make_rng,
+)
+
+
+class KmeansWorkload(Workload):
+    CLUSTERS = 16
+    DIMS = 8
+    ITERATIONS = 3
+    POINTS_PER_THREAD = 14
+    #: distance computation per point (cycles, non-transactional)
+    ASSIGN_BUSY = 220
+    #: variance of the per-point work (load imbalance at the barrier)
+    ASSIGN_JITTER = 60
+
+    def __init__(self) -> None:
+        self.spec = WorkloadSpec(
+            name="kmeans",
+            description="From STAMP, partition-based clustering program",
+            parameters="m15 n15 t0.05 random-n2048-d16-c16 (scaled)",
+        )
+
+    def generate(
+        self, nthreads: int, seed: int = 1, scale: float = 1.0
+    ) -> GeneratedWorkload:
+        memory = MainMemory()
+        alloc = BumpAllocator()
+        rng = make_rng(seed)
+
+        # One block per center: DIMS coordinate sums + a count word.
+        center_addrs = [
+            alloc.alloc_block(8 * (self.DIMS + 1))
+            for _ in range(self.CLUSTERS)
+        ]
+        for addr in center_addrs:
+            for word in range(self.DIMS + 1):
+                memory.write(addr + 8 * word, 0)
+
+        points = self.scaled(self.POINTS_PER_THREAD, scale)
+        expected = [
+            [0] * (self.DIMS + 1) for _ in range(self.CLUSTERS)
+        ]
+
+        scripts = [ThreadScript() for _ in range(nthreads)]
+        for _iteration in range(self.ITERATIONS):
+            for thread in range(nthreads):
+                script = scripts[thread]
+                for _ in range(points):
+                    script.add_work(
+                        self.ASSIGN_BUSY
+                        + rng.randrange(self.ASSIGN_JITTER)
+                    )
+                    cluster = rng.randrange(self.CLUSTERS)
+                    coords = [
+                        rng.randrange(1, 32) for _ in range(self.DIMS)
+                    ]
+                    asm = Assembler()
+                    base = center_addrs[cluster]
+                    for dim, delta in enumerate(coords):
+                        asm.load(R1, base + 8 * dim)
+                        asm.addi(R1, R1, delta)
+                        asm.store(R1, base + 8 * dim)
+                        expected[cluster][dim] += delta
+                    count_addr = base + 8 * self.DIMS
+                    asm.load(R1, count_addr)
+                    asm.addi(R1, R1, 1)
+                    asm.store(R1, count_addr)
+                    expected[cluster][self.DIMS] += 1
+                    script.add_txn(asm.build(), label="center-update")
+            for script in scripts:
+                script.add_barrier()
+
+        def check(mem: MainMemory) -> InvariantResult:
+            for cluster, addr in enumerate(center_addrs):
+                for word in range(self.DIMS + 1):
+                    actual = mem.read(addr + 8 * word)
+                    if actual != expected[cluster][word]:
+                        return InvariantResult(
+                            "centers",
+                            False,
+                            f"cluster {cluster} word {word}: "
+                            f"{actual} != {expected[cluster][word]}",
+                        )
+            return InvariantResult("centers", True, "sums consistent")
+
+        return GeneratedWorkload(
+            memory=memory, scripts=scripts, checks=[check]
+        )

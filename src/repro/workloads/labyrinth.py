@@ -1,0 +1,96 @@
+"""``labyrinth`` — shortest-distance path routing (STAMP).
+
+Following the paper's restructuring, the private grid copy happens
+*before* the transaction (it is non-transactional work here); the
+transaction then claims the routed path's grid cells.  Path lengths
+vary widely, so the workload is limited by load imbalance (barrier
+time), not conflicts — the paper's stated exception in §3.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Assembler
+from repro.isa.registers import R1
+from repro.mem.address import BLOCK_SIZE
+from repro.mem.allocator import BumpAllocator
+from repro.mem.memory import MainMemory
+from repro.sim.script import ThreadScript
+from repro.workloads.base import (
+    GeneratedWorkload,
+    InvariantResult,
+    Workload,
+    WorkloadSpec,
+    make_rng,
+)
+
+
+class LabyrinthWorkload(Workload):
+    GRID_CELLS = 4096
+    ROUNDS = 2
+    PATHS_PER_THREAD = 3
+    #: grid-copy cost per path (cycles, outside the transaction)
+    COPY_BUSY = 900
+    MIN_PATH = 8
+    MAX_PATH = 50
+    #: a few paths are much longer (the imbalance source)
+    LONG_PATH = 220
+    LONG_PROB = 0.12
+
+    def __init__(self) -> None:
+        self.spec = WorkloadSpec(
+            name="labyrinth",
+            description="From STAMP, shortest-distance path routing",
+            parameters="random-x32-y32-z3-n96 (scaled)",
+        )
+
+    def generate(
+        self, nthreads: int, seed: int = 1, scale: float = 1.0
+    ) -> GeneratedWorkload:
+        memory = MainMemory()
+        alloc = BumpAllocator()
+        rng = make_rng(seed)
+
+        grid_base = alloc.alloc(self.GRID_CELLS * 8, align=BLOCK_SIZE)
+        for cell in range(self.GRID_CELLS):
+            memory.write(grid_base + 8 * cell, 0)
+        claim_counts = [0] * self.GRID_CELLS
+
+        paths = self.scaled(self.PATHS_PER_THREAD, scale)
+        scripts = [ThreadScript() for _ in range(nthreads)]
+        for _round in range(self.ROUNDS):
+            for script in scripts:
+                for _ in range(paths):
+                    if rng.random() < self.LONG_PROB:
+                        length = self.LONG_PATH
+                    else:
+                        length = rng.randrange(
+                            self.MIN_PATH, self.MAX_PATH
+                        )
+                    start = rng.randrange(self.GRID_CELLS)
+                    script.add_work(self.COPY_BUSY + 2 * length)
+                    asm = Assembler()
+                    for step in range(length):
+                        cell = (start + step) % self.GRID_CELLS
+                        addr = grid_base + 8 * cell
+                        asm.load(R1, addr)
+                        asm.addi(R1, R1, 1)
+                        asm.store(R1, addr)
+                        claim_counts[cell] += 1
+                    script.add_txn(asm.build(), label="route")
+            for script in scripts:
+                script.add_barrier()
+
+        def check(mem: MainMemory) -> InvariantResult:
+            for cell, expected in enumerate(claim_counts):
+                actual = mem.read(grid_base + 8 * cell)
+                if actual != expected:
+                    return InvariantResult(
+                        "grid",
+                        False,
+                        f"cell {cell}: {actual} != {expected} claims",
+                    )
+            return InvariantResult("grid", True, "claims consistent")
+
+        return GeneratedWorkload(
+            memory=memory, scripts=scripts, checks=[check]
+        )

@@ -1,0 +1,191 @@
+"""``python`` — GIL-elided bytecode interpretation over cpython.
+
+Each transaction models one GIL critical section: interpreting a block
+of bytecodes.  Interpretation increfs the objects it touches (hot
+singletons like ``None``/``True``/small ints follow a Zipf
+distribution), does interpreter work, and decrefs the previous block's
+objects.
+
+The unoptimized variant additionally pops and pushes the shared
+allocator free list in every block — a pointer that is *used as an
+address*, so RETCON must pin it with an equality constraint and
+cannot repair it: python shows no scaling on any system.  The
+``python_opt`` variant makes those globals thread-private (the paper's
+``__thread`` restructuring), leaving only the reference counts — which
+RETCON repairs, turning no scaling into near-linear scaling (the
+paper's 30x-on-32-cores headline).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Cond
+from repro.isa.program import Assembler
+from repro.isa.registers import R1, R2, R3, R4
+from repro.mem.allocator import BumpAllocator
+from repro.mem.memory import MainMemory
+from repro.sim.script import ThreadScript
+from repro.workloads.base import (
+    GeneratedWorkload,
+    InvariantResult,
+    Workload,
+    WorkloadSpec,
+    make_rng,
+    zipf_indices,
+)
+from repro.workloads.structures.refheap import SimRefHeap
+
+
+class _FreeList:
+    """A shared LIFO allocator free list (the unopt global)."""
+
+    def __init__(
+        self, memory: MainMemory, alloc: BumpAllocator, length: int
+    ) -> None:
+        self.head_addr = alloc.alloc_block(8)
+        self.nodes = [alloc.alloc(16, align=16) for _ in range(length)]
+        # Chain: head -> nodes[0] -> nodes[1] -> ... -> 0
+        memory.write(self.head_addr, self.nodes[0])
+        for i, node in enumerate(self.nodes):
+            nxt = self.nodes[i + 1] if i + 1 < len(self.nodes) else 0
+            memory.write(node, nxt)
+
+    def emit_alloc_free(self, asm: Assembler) -> None:
+        """Pop a node for this block; free the previous block's node.
+
+        R4 carries the previously allocated node across transactions
+        (thread-local state).  Because the popped and pushed nodes
+        differ, the head genuinely changes value every block — RETCON's
+        equality pin on the head (it is used as an address) therefore
+        fails whenever another thread allocated concurrently, exactly
+        the unrepairable global the paper describes.
+        """
+        # pop: r1 = head; head = r1.next
+        asm.load(R1, self.head_addr)
+        asm.load_ind(R2, R1, 0)  # address use pins the head
+        asm.store(R2, self.head_addr)
+        # push the node held from the previous block (if any):
+        # r4.next = head; head = r4
+        skip = asm.fresh_label("fl_skip")
+        asm.br(Cond.EQ, R4, 0, skip)
+        asm.load(R3, self.head_addr)
+        asm.store_ind(R3, R4, 0)
+        asm.store(R4, self.head_addr)
+        asm.mark(skip)
+        asm.mov(R4, R1)  # hold the fresh node until the next block
+
+    def emit_release(self, asm: Assembler) -> None:
+        """Teardown: push the held node back (end of the thread)."""
+        skip = asm.fresh_label("fl_done")
+        asm.br(Cond.EQ, R4, 0, skip)
+        asm.load(R3, self.head_addr)
+        asm.store_ind(R3, R4, 0)
+        asm.store(R4, self.head_addr)
+        asm.mark(skip)
+
+    def validate(self, memory: MainMemory) -> tuple[bool, str]:
+        seen = set()
+        addr = memory.read(self.head_addr)
+        while addr != 0:
+            if addr in seen:
+                return False, "free list contains a cycle"
+            seen.add(addr)
+            addr = memory.read(addr)
+        if seen != set(self.nodes):
+            return False, (
+                f"free list holds {len(seen)} nodes, expected "
+                f"{len(self.nodes)}"
+            )
+        return True, "free list consistent"
+
+
+class PythonWorkload(Workload):
+    """bm_threading.py-style interpretation (Unladen-Swallow suite)."""
+
+    BLOCKS_PER_THREAD = 60
+    OBJECTS = 32
+    OBJS_PER_BLOCK = 3
+    #: interpreter busy work per bytecode block (cycles).  Bytecode
+    #: blocks are long compared to the refcount updates they perform,
+    #: which is what makes the GIL hold time (and thus eager
+    #: serialization) expensive and the RETCON repair cheap.
+    TXN_BUSY = 2600
+    #: time outside the GIL (I/O, etc.) — deliberately tiny
+    WORK_BUSY = 20
+    ZIPF_SKEW = 1.4
+
+    def __init__(self, optimized: bool) -> None:
+        self.optimized = optimized
+        suffix = "_opt" if optimized else ""
+        self.spec = WorkloadSpec(
+            name=f"python{suffix}",
+            description=(
+                "Python interpreter, bm_threading.py"
+                + (
+                    " with interpreter optimizations (thread-private "
+                    "globals)"
+                    if optimized
+                    else ""
+                )
+            ),
+            parameters="bm_threading.py (scaled)",
+        )
+
+    def generate(
+        self, nthreads: int, seed: int = 1, scale: float = 1.0
+    ) -> GeneratedWorkload:
+        memory = MainMemory()
+        alloc = BumpAllocator()
+        rng = make_rng(seed)
+
+        heap = SimRefHeap(
+            memory, alloc, nobjects=self.OBJECTS, initial_refcount=100
+        )
+        freelist = None
+        if not self.optimized:
+            freelist = _FreeList(memory, alloc, length=4 * nthreads)
+
+        blocks = self.scaled(self.BLOCKS_PER_THREAD, scale)
+        scripts = []
+        for _thread in range(nthreads):
+            script = ThreadScript()
+            held: list[int] = []  # objects incref'd by the previous block
+            for _ in range(blocks):
+                asm = Assembler()
+                objs = zipf_indices(
+                    rng, self.OBJS_PER_BLOCK, self.OBJECTS, self.ZIPF_SKEW
+                )
+                if freelist is not None:
+                    freelist.emit_alloc_free(asm)
+                for obj in objs:
+                    heap.emit_incref(asm, obj)
+                    heap.emit_payload_read(asm, obj)
+                asm.nop(self.TXN_BUSY)
+                for obj in held:
+                    heap.emit_decref(asm, obj)
+                held = objs
+                script.add_txn(asm.build(), label="bytecode-block")
+                script.add_work(self.WORK_BUSY)
+            # Final block: release what the last block held.
+            asm = Assembler()
+            for obj in held:
+                heap.emit_decref(asm, obj)
+            if freelist is not None:
+                freelist.emit_release(asm)
+            script.add_txn(asm.build(), label="teardown")
+            scripts.append(script)
+
+        checks = [
+            lambda mem: InvariantResult(
+                "refcounts", *heap.validate(mem)
+            )
+        ]
+        if freelist is not None:
+            checks.append(
+                lambda mem: InvariantResult(
+                    "freelist", *freelist.validate(mem)
+                )
+            )
+
+        return GeneratedWorkload(
+            memory=memory, scripts=scripts, checks=checks
+        )

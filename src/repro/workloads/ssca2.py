@@ -1,0 +1,96 @@
+"""``ssca2`` — graph kernels (STAMP).
+
+Tiny transactions add edges to a large graph: load a node's degree
+counter, write the adjacency slot it indexes, bump the counter.  The
+node universe far exceeds the L1, so the workload is dominated by
+cache misses and coherence transfers rather than conflicts — the
+paper's "bad caching behavior" exception in §3, which no TM variant
+changes.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Assembler
+from repro.isa.registers import R1, R2, R3
+from repro.mem.allocator import BumpAllocator
+from repro.mem.memory import MainMemory
+from repro.sim.script import ThreadScript
+from repro.workloads.base import (
+    GeneratedWorkload,
+    InvariantResult,
+    Workload,
+    WorkloadSpec,
+    make_rng,
+)
+
+#: per-node record: degree counter (8B) + adjacency slots
+_MAX_DEGREE = 6
+_NODE_STRIDE = 8 * (1 + _MAX_DEGREE)
+
+
+class Ssca2Workload(Workload):
+    NODES = 1024
+    EDGES_PER_THREAD = 56
+    WORK_BUSY = 12
+
+    def __init__(self) -> None:
+        self.spec = WorkloadSpec(
+            name="ssca2",
+            description="From STAMP, graph kernels",
+            parameters="s13 i1.0 u1.0 l3 p3 (scaled)",
+        )
+
+    def generate(
+        self, nthreads: int, seed: int = 1, scale: float = 1.0
+    ) -> GeneratedWorkload:
+        memory = MainMemory()
+        alloc = BumpAllocator()
+        rng = make_rng(seed)
+
+        node_base = alloc.alloc(self.NODES * _NODE_STRIDE, align=64)
+        for node in range(self.NODES):
+            memory.write(node_base + node * _NODE_STRIDE, 0)
+
+        edges = self.scaled(self.EDGES_PER_THREAD, scale)
+        degree_expected = [0] * self.NODES
+
+        scripts = []
+        for _thread in range(nthreads):
+            script = ThreadScript()
+            for _ in range(edges):
+                node = rng.randrange(self.NODES)
+                target = rng.randrange(self.NODES)
+                degree_expected[node] += 1
+                counter = node_base + node * _NODE_STRIDE
+                asm = Assembler()
+                # slot address = counter_addr + 8 + (degree % MAX) * 8
+                asm.load(R1, counter)
+                # Degree-indexed slot: the DIV/MUL chain is untrackable,
+                # pinning the counter if it is symbolically tracked.
+                asm.div(R2, R1, _MAX_DEGREE)
+                asm.mul(R2, R2, _MAX_DEGREE)
+                asm.sub(R3, R1, R2)  # R3 = degree % MAX_DEGREE
+                asm.mul(R3, R3, 8)
+                asm.addi(R3, R3, counter + 8)
+                asm.movi(R2, target)
+                asm.store_ind(R2, R3, 0)
+                asm.addi(R1, R1, 1)
+                asm.store(R1, counter)
+                script.add_txn(asm.build(), label="add-edge")
+                script.add_work(self.WORK_BUSY)
+            scripts.append(script)
+
+        def check(mem: MainMemory) -> InvariantResult:
+            for node, expected in enumerate(degree_expected):
+                actual = mem.read(node_base + node * _NODE_STRIDE)
+                if actual != expected:
+                    return InvariantResult(
+                        "degrees",
+                        False,
+                        f"node {node}: degree {actual} != {expected}",
+                    )
+            return InvariantResult("degrees", True, "degrees consistent")
+
+        return GeneratedWorkload(
+            memory=memory, scripts=scripts, checks=[check]
+        )

@@ -1,0 +1,23 @@
+"""Simulated-memory data structures shared by the workload models.
+
+Each structure lays itself out in simulated memory at generation time
+and *emits ISA programs* that operate on it at simulation time.  The
+programs perform real pointer traversals and real field updates, so
+the conflict patterns (hashtable size fields, queue head indices,
+tree rebalancing, reference counts, mesh neighborhoods) arise from
+the same access shapes as in the paper's workloads.
+"""
+
+from repro.workloads.structures.hashtable import SimHashTable
+from repro.workloads.structures.mesh import SimMesh
+from repro.workloads.structures.queue import SimQueue
+from repro.workloads.structures.refheap import SimRefHeap
+from repro.workloads.structures.tree import SimTree
+
+__all__ = [
+    "SimHashTable",
+    "SimQueue",
+    "SimTree",
+    "SimRefHeap",
+    "SimMesh",
+]

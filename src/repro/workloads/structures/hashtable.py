@@ -1,0 +1,163 @@
+"""A chained hashtable with an (optionally resizable) size field.
+
+This is the structure behind the paper's ``-sz`` workload variants:
+inserts of *different* elements are conceptually non-conflicting, but
+the resizable variant increments a shared ``size`` field and checks it
+against a threshold on every insert — "a general pattern of updates to
+peripheral shared values" that serializes eager HTMs and that RETCON
+repairs symbolically.
+
+Layout::
+
+    header block : size (8B) | threshold (8B)          (one hot block)
+    buckets      : nbuckets x 8B head pointers
+    nodes        : 16B each: key (8B) | next (8B)
+
+The insert program performs a real head-pointer push: it loads the
+bucket head, links the new node in front, and publishes the node.
+Under RETCON a contended bucket head is tracked symbolically and the
+node's ``next`` field is repaired to the *commit-time* head, so even
+same-bucket pushes interleave correctly — exactly the symbolic
+store-data case of Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Cond
+from repro.isa.program import Assembler
+from repro.isa.registers import R1, R2, R3, R4, R5
+from repro.mem.address import BLOCK_SIZE
+from repro.mem.allocator import BumpAllocator
+from repro.mem.memory import MainMemory
+
+
+@dataclass
+class SimHashTable:
+    memory: MainMemory
+    alloc: BumpAllocator
+    nbuckets: int
+    resizable: bool
+    initial_threshold: int = 0
+    # generation-time bookkeeping
+    size_addr: int = 0
+    threshold_addr: int = 0
+    bucket_base: int = 0
+    inserted: dict[int, list[int]] = field(default_factory=dict)
+    node_addrs: list[int] = field(default_factory=list)
+    _resize_touch_blocks: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        header = self.alloc.alloc_block(16)
+        self.size_addr = header
+        self.threshold_addr = header + 8
+        self.bucket_base = self.alloc.alloc(
+            self.nbuckets * 8, align=BLOCK_SIZE
+        )
+        if self.initial_threshold <= 0:
+            self.initial_threshold = max(4, self.nbuckets)
+        self.memory.write(self.size_addr, 0)
+        self.memory.write(self.threshold_addr, self.initial_threshold)
+        for i in range(self.nbuckets):
+            self.memory.write(self.bucket_base + 8 * i, 0)
+        # Resizing rewrites the bucket array: touch one word per block.
+        nblocks = max(1, (self.nbuckets * 8) // BLOCK_SIZE)
+        self._resize_touch_blocks = [
+            self.bucket_base + i * BLOCK_SIZE for i in range(nblocks)
+        ]
+
+    # ------------------------------------------------------------------
+    def bucket_addr(self, key: int) -> int:
+        return self.bucket_base + 8 * (hash(key) % self.nbuckets)
+
+    def new_node(self) -> int:
+        node = self.alloc.alloc(16, align=16)
+        self.node_addrs.append(node)
+        return node
+
+    # ------------------------------------------------------------------
+    # Program emission
+    # ------------------------------------------------------------------
+    def emit_insert(self, asm: Assembler, key: int) -> None:
+        """Insert *key*: push a fresh node and bump the size field."""
+        node = self.new_node()
+        bucket = self.bucket_addr(key)
+        self.inserted.setdefault(bucket, []).append(node)
+        self.memory.write(node, key)  # key is immutable; write it now
+        self.memory.write(node + 8, 0)
+
+        asm.load(R1, bucket)  # old head
+        asm.store(R1, node + 8)  # node.next = old head
+        asm.movi(R2, node)
+        asm.store(R2, bucket)  # head = node
+
+        if not self.resizable:
+            return
+
+        done = asm.fresh_label("ins_done")
+        asm.load(R3, self.size_addr)
+        asm.addi(R3, R3, 1)
+        asm.store(R3, self.size_addr)
+        asm.load(R4, self.threshold_addr)
+        asm.br(Cond.LT, R3, R4, done)
+        # Rare resize path: rewrite the bucket array (silent rewrites,
+        # but the writes still conflict eagerly) and double the
+        # threshold.  The doubling uses MUL, so under RETCON the
+        # threshold root is pinned by an equality constraint here.
+        for touch in self._resize_touch_blocks:
+            asm.load(R5, touch)
+            asm.store(R5, touch)
+        asm.mul(R4, R4, 2)
+        asm.store(R4, self.threshold_addr)
+        asm.mark(done)
+
+    def emit_lookup(self, asm: Assembler, key: int) -> None:
+        """Chain walk for *key* (register-indirect pointer chasing)."""
+        bucket = self.bucket_addr(key)
+        loop = asm.fresh_label("lk_loop")
+        out = asm.fresh_label("lk_out")
+        asm.load(R1, bucket)
+        asm.mark(loop)
+        asm.br(Cond.EQ, R1, 0, out)
+        asm.load_ind(R2, R1, 0)  # node.key
+        asm.br(Cond.EQ, R2, key, out)
+        asm.load_ind(R1, R1, 8)  # node.next
+        asm.jump(loop)
+        asm.mark(out)
+
+    # ------------------------------------------------------------------
+    # Post-run validation
+    # ------------------------------------------------------------------
+    def expected_inserts(self) -> int:
+        return sum(len(nodes) for nodes in self.inserted.values())
+
+    def walk_chain(self, memory: MainMemory, bucket: int) -> list[int]:
+        """Return the node addresses reachable from *bucket*'s head."""
+        nodes = []
+        seen = set()
+        addr = memory.read(bucket)
+        while addr != 0:
+            if addr in seen:
+                raise AssertionError(f"cycle in bucket {bucket:#x} chain")
+            seen.add(addr)
+            nodes.append(addr)
+            addr = memory.read(addr + 8)
+        return nodes
+
+    def validate(self, memory: MainMemory) -> tuple[bool, str]:
+        """Every inserted node reachable exactly once; size correct."""
+        for bucket, inserted in self.inserted.items():
+            chain = self.walk_chain(memory, bucket)
+            if sorted(chain) != sorted(inserted):
+                return False, (
+                    f"bucket {bucket:#x}: chain has {len(chain)} nodes, "
+                    f"expected {len(inserted)}"
+                )
+        if self.resizable:
+            size = memory.read(self.size_addr)
+            if size != self.expected_inserts():
+                return False, (
+                    f"size field {size} != {self.expected_inserts()} inserts"
+                )
+        return True, "hashtable consistent"

@@ -1,0 +1,98 @@
+"""An irregular mesh for ``yada``-style refinement transactions.
+
+Delaunay refinement picks a bad triangle and re-triangulates its
+*cavity* — an unpredictable neighborhood found by walking neighbor
+pointers.  The walk uses loaded pointers as addresses (so RETCON must
+pin them with equality constraints) and the re-triangulation *writes*
+neighbor pointers, so concurrent transactions whose cavities overlap
+genuinely conflict: the paper's example of a workload that neither
+software restructuring nor RETCON rescues (§5.4).
+
+Because the topology evolves at run time, per-element outcomes are
+schedule-dependent; the invariants checked are serializability-stable
+aggregates: the total work performed equals the number of committed
+cavity visits, and every neighbor slot always holds a valid element
+address (writes only copy element addresses).
+
+Layout per element (one block)::
+
+    neighbor[0..2] (3 x 8B) | work counter (8B) | quality (8B)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.isa.program import Assembler
+from repro.isa.registers import R1, R2, R3
+from repro.mem.allocator import BumpAllocator
+from repro.mem.memory import MainMemory
+
+_NBR0, _NBR1, _NBR2, _WORK, _QUALITY = 0, 8, 16, 24, 32
+_SLOTS = (_NBR0, _NBR1, _NBR2)
+
+
+@dataclass
+class SimMesh:
+    memory: MainMemory
+    alloc: BumpAllocator
+    nelements: int
+    rng: random.Random
+    element_addrs: list[int] = field(default_factory=list)
+    #: generation-time tally: total work-counter increments emitted
+    total_visits: int = 0
+
+    def __post_init__(self) -> None:
+        self.element_addrs = [
+            self.alloc.alloc_block(40) for _ in range(self.nelements)
+        ]
+        for i, addr in enumerate(self.element_addrs):
+            neighbors = self.rng.sample(range(self.nelements), 3)
+            for slot, nbr in zip(_SLOTS, neighbors):
+                self.memory.write(addr + slot, self.element_addrs[nbr])
+            self.memory.write(addr + _WORK, 0)
+            self.memory.write(addr + _QUALITY, i)
+
+    # ------------------------------------------------------------------
+    def emit_refine(self, asm: Assembler, start: int, hops: int) -> None:
+        """Refine the cavity reachable from element *start*.
+
+        Chases *hops* neighbor pointers; at every visited element it
+        bumps the work counter and re-triangulates by rotating one
+        neighbor pointer (writing a pointer word other walkers may be
+        using for addressing).
+        """
+        self.total_visits += hops + 1
+        asm.movi(R1, self.element_addrs[start])
+        for hop in range(hops + 1):
+            asm.load_ind(R2, R1, _WORK)
+            asm.addi(R2, R2, 1)
+            asm.store_ind(R2, R1, _WORK)
+            if hop < hops:
+                read_slot = _SLOTS[hop % 3]
+                write_slot = _SLOTS[(hop + 1) % 3]
+                asm.load_ind(R3, R1, read_slot)  # pointer chase
+                # Re-triangulation: redirect another neighbor slot at
+                # the element we came through.
+                asm.store_ind(R3, R1, write_slot)
+                asm.mov(R1, R3)
+
+    # ------------------------------------------------------------------
+    def validate(self, memory: MainMemory) -> tuple[bool, str]:
+        valid_addrs = set(self.element_addrs)
+        total_work = 0
+        for addr in self.element_addrs:
+            for slot in _SLOTS:
+                pointer = memory.read(addr + slot)
+                if pointer not in valid_addrs:
+                    return False, (
+                        f"element @{addr:#x}: slot {slot} holds invalid "
+                        f"pointer {pointer:#x}"
+                    )
+            total_work += memory.read(addr + _WORK)
+        if total_work != self.total_visits:
+            return False, (
+                f"total work {total_work} != {self.total_visits} visits"
+            )
+        return True, "mesh consistent"

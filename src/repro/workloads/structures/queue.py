@@ -1,0 +1,96 @@
+"""An array-based FIFO work queue with head/tail indices.
+
+This models the ``intruder`` bottleneck: dequeue loads the head index
+and then *uses it to compute the slot address*.  Index arithmetic
+requires a multiply, so under RETCON the head's root is pinned by an
+equality constraint — if another thread dequeues concurrently the
+constraint fails at commit and the transaction aborts.  This is the
+paper's §5.4 example of conflicts "used to index into memory" that a
+repair-based approach cannot help.
+
+The slot array is sized for the total number of enqueues, so indices
+increase monotonically (no wraparound modulo needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Cond
+from repro.isa.program import Assembler
+from repro.isa.registers import R8, R9, R10, R11
+from repro.mem.address import BLOCK_SIZE
+from repro.mem.allocator import BumpAllocator
+from repro.mem.memory import MainMemory
+
+
+@dataclass
+class SimQueue:
+    memory: MainMemory
+    alloc: BumpAllocator
+    capacity: int
+    head_addr: int = 0
+    tail_addr: int = 0
+    slot_base: int = 0
+    enqueued: list[int] = field(default_factory=list)
+    prefilled: int = 0
+
+    def __post_init__(self) -> None:
+        header = self.alloc.alloc_block(16)
+        self.head_addr = header
+        self.tail_addr = header + 8
+        self.slot_base = self.alloc.alloc(
+            self.capacity * 8, align=BLOCK_SIZE
+        )
+        self.memory.write(self.head_addr, 0)
+        self.memory.write(self.tail_addr, 0)
+
+    def prefill(self, values: list[int]) -> None:
+        """Seed the queue before the run (non-transactionally)."""
+        for value in values:
+            slot = self.slot_base + 8 * len(self.enqueued)
+            self.memory.write(slot, value)
+            self.enqueued.append(value)
+        self.prefilled = len(self.enqueued)
+        self.memory.write(self.tail_addr, self.prefilled)
+
+    # ------------------------------------------------------------------
+    def emit_enqueue(self, asm: Assembler, value: int) -> None:
+        """tail index -> slot address -> store -> tail++."""
+        self.enqueued.append(value)
+        asm.load(R8, self.tail_addr)
+        asm.mul(R9, R8, 8)  # address arithmetic: pins the tail root
+        asm.addi(R9, R9, self.slot_base)
+        asm.movi(R10, value)
+        asm.store_ind(R10, R9, 0)
+        asm.addi(R8, R8, 1)
+        asm.store(R8, self.tail_addr)
+
+    def emit_dequeue(self, asm: Assembler) -> None:
+        """head/tail compare -> slot load (into R11) -> head++."""
+        empty = asm.fresh_label("q_empty")
+        asm.load(R8, self.head_addr)
+        asm.load(R9, self.tail_addr)
+        asm.br(Cond.GE, R8, R9, empty)
+        asm.mul(R10, R8, 8)  # pins the head root
+        asm.addi(R10, R10, self.slot_base)
+        asm.load_ind(R11, R10, 0)
+        asm.addi(R8, R8, 1)
+        asm.store(R8, self.head_addr)
+        asm.mark(empty)
+
+    # ------------------------------------------------------------------
+    def validate(self, memory: MainMemory) -> tuple[bool, str]:
+        """tail == enqueues; head <= tail; slots hold the enqueued values."""
+        tail = memory.read(self.tail_addr)
+        head = memory.read(self.head_addr)
+        if tail != len(self.enqueued):
+            return False, f"tail {tail} != {len(self.enqueued)} enqueues"
+        if not 0 <= head <= tail:
+            return False, f"head {head} out of range [0, {tail}]"
+        stored = sorted(
+            memory.read(self.slot_base + 8 * i) for i in range(tail)
+        )
+        if stored != sorted(self.enqueued):
+            return False, "slot contents do not match enqueued values"
+        return True, "queue consistent"

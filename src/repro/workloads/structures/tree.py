@@ -1,0 +1,119 @@
+"""A binary search tree with occasional "rebalancing" writes.
+
+Models the red-black-tree conflicts of unoptimized ``vacation`` and
+``intruder``: every operation walks pointer-linked nodes from the
+root (reads on the hot path near the root), and a fraction of updates
+perform rebalancing writes to the color fields of nodes near the
+root.  Rebalancing writes are frequently *silent* (they rewrite the
+value already present), so value-based validation (lazy-vb, RETCON)
+avoids most of the aborts that eager conflict detection suffers —
+matching the paper's observation that only ``vacation`` variants gain
+from lazy-vb alone.
+
+The tree is pre-built and static in shape; operations update per-node
+value counters.  Node layout (one block per node to keep the hot path
+clean)::
+
+    key (8B) | left (8B) | right (8B) | color (8B) | value (8B)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Cond
+from repro.isa.program import Assembler
+from repro.isa.registers import R1, R2, R3, R4
+from repro.mem.allocator import BumpAllocator
+from repro.mem.memory import MainMemory
+
+_KEY, _LEFT, _RIGHT, _COLOR, _VALUE = 0, 8, 16, 24, 32
+
+
+@dataclass
+class SimTree:
+    memory: MainMemory
+    alloc: BumpAllocator
+    keys: list[int]
+    root: int = 0
+    node_of_key: dict[int, int] = field(default_factory=dict)
+    #: generation-time tally of value updates per key
+    updates: dict[int, int] = field(default_factory=dict)
+    #: nodes on the top levels, targeted by rebalancing writes
+    hot_nodes: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        ordered = sorted(set(self.keys))
+        self.keys = ordered
+        self.root = self._build(ordered, depth=0)
+
+    def _build(self, keys: list[int], depth: int) -> int:
+        if not keys:
+            return 0
+        mid = len(keys) // 2
+        node = self.alloc.alloc_block(40)
+        key = keys[mid]
+        self.node_of_key[key] = node
+        left = self._build(keys[:mid], depth + 1)
+        right = self._build(keys[mid + 1 :], depth + 1)
+        self.memory.write(node + _KEY, key)
+        self.memory.write(node + _LEFT, left)
+        self.memory.write(node + _RIGHT, right)
+        self.memory.write(node + _COLOR, depth % 2)
+        self.memory.write(node + _VALUE, 0)
+        if depth < 2:
+            self.hot_nodes.append(node)
+        return node
+
+    # ------------------------------------------------------------------
+    def emit_update(
+        self,
+        asm: Assembler,
+        key: int,
+        rng: random.Random,
+        rebalance_prob: float = 0.1,
+        silent_prob: float = 0.8,
+    ) -> None:
+        """Walk to *key* and bump its value; sometimes "rebalance"."""
+        self.updates[key] = self.updates.get(key, 0) + 1
+        loop = asm.fresh_label("t_loop")
+        right = asm.fresh_label("t_right")
+        found = asm.fresh_label("t_found")
+        asm.movi(R1, self.root)
+        asm.mark(loop)
+        asm.load_ind(R2, R1, _KEY)
+        asm.br(Cond.EQ, R2, key, found)
+        asm.br(Cond.LT, R2, key, right)
+        asm.load_ind(R1, R1, _LEFT)
+        asm.jump(loop)
+        asm.mark(right)
+        asm.load_ind(R1, R1, _RIGHT)
+        asm.jump(loop)
+        asm.mark(found)
+        asm.load_ind(R3, R1, _VALUE)
+        asm.addi(R3, R3, 1)
+        asm.store_ind(R3, R1, _VALUE)
+
+        if rng.random() < rebalance_prob and self.hot_nodes:
+            node = rng.choice(self.hot_nodes)
+            asm.load(R4, node + _COLOR)
+            if rng.random() < silent_prob:
+                # Temporally-silent rewrite: eager HTMs conflict, value
+                # validation does not.
+                asm.store(R4, node + _COLOR)
+            else:
+                # A real flip: everyone who read this node must retry.
+                asm.movi(R4, rng.randint(0, 1))
+                asm.store(R4, node + _COLOR)
+
+    # ------------------------------------------------------------------
+    def validate(self, memory: MainMemory) -> tuple[bool, str]:
+        for key, expected in self.updates.items():
+            node = self.node_of_key[key]
+            value = memory.read(node + _VALUE)
+            if value != expected:
+                return False, (
+                    f"key {key}: value {value} != {expected} updates"
+                )
+        return True, "tree values consistent"

@@ -1,0 +1,126 @@
+"""``vacation`` — travel reservation system (STAMP).
+
+Clients reserve cars/flights/rooms in transactions against shared
+relation tables.
+
+* unoptimized: the tables are red-black trees; rebalancing near the
+  root conflicts with every concurrent walker.  Many rebalancing
+  writes are silent, which is why vacation is one of the two
+  workloads where lazy-vb alone already beats the eager baseline.
+* ``vacation_opt``: the tree is replaced with a fixed-size hashtable
+  (the paper's restructuring): scales on every system.
+* ``vacation_opt-sz``: resizable hashtable — the size field returns
+  as the bottleneck and RETCON repairs it (19x → 24x in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Assembler
+from repro.mem.allocator import BumpAllocator
+from repro.mem.memory import MainMemory
+from repro.sim.script import ThreadScript
+from repro.workloads.base import (
+    GeneratedWorkload,
+    InvariantResult,
+    Workload,
+    WorkloadSpec,
+    make_rng,
+)
+from repro.workloads.structures.hashtable import SimHashTable
+from repro.workloads.structures.tree import SimTree
+
+
+class VacationWorkload(Workload):
+    TASKS_PER_THREAD = 32
+    TXN_BUSY = 900
+    WORK_BUSY = 150
+    NBUCKETS = 256
+    TREE_KEYS = 256
+    REBALANCE_PROB = 0.12
+    SILENT_PROB = 0.85
+
+    def __init__(self, optimized: bool, resizable: bool) -> None:
+        if resizable and not optimized:
+            raise ValueError("-sz exists only for the _opt variant")
+        self.optimized = optimized
+        self.resizable = resizable
+        name = "vacation"
+        description = "From STAMP, travel reservation system"
+        if optimized:
+            name += "_opt"
+            if resizable:
+                name += "-sz"
+                description += ", resizable hashtable"
+            else:
+                description += ", fixed-size hashtable"
+        self.spec = WorkloadSpec(
+            name=name,
+            description=description,
+            parameters="n4 q60 u90 r16384 t4096 (scaled)",
+        )
+
+    def generate(
+        self, nthreads: int, seed: int = 1, scale: float = 1.0
+    ) -> GeneratedWorkload:
+        memory = MainMemory()
+        alloc = BumpAllocator()
+        rng = make_rng(seed)
+        tasks = self.scaled(self.TASKS_PER_THREAD, scale)
+        total = tasks * nthreads
+
+        checks = []
+        tree = None
+        table = None
+        if self.optimized:
+            table = SimHashTable(
+                memory,
+                alloc,
+                nbuckets=self.NBUCKETS,
+                resizable=self.resizable,
+                initial_threshold=max(8, total // 8),
+            )
+            checks.append(
+                lambda mem: InvariantResult(
+                    "reservations", *table.validate(mem)
+                )
+            )
+        else:
+            tree = SimTree(
+                memory, alloc, keys=list(range(self.TREE_KEYS))
+            )
+            checks.append(
+                lambda mem: InvariantResult(
+                    "reservations", *tree.validate(mem)
+                )
+            )
+
+        scripts = []
+        for _thread in range(nthreads):
+            script = ThreadScript()
+            for _ in range(tasks):
+                asm = Assembler()
+                # Price computation happens before the tables are
+                # touched, so shared structures are held only briefly.
+                asm.nop(self.TXN_BUSY)
+                if table is not None:
+                    # Make a reservation (insert) and check two others.
+                    table.emit_insert(asm, rng.randrange(1 << 30))
+                    table.emit_lookup(asm, rng.randrange(1 << 30))
+                    table.emit_lookup(asm, rng.randrange(1 << 30))
+                else:
+                    for _ in range(2):
+                        key = rng.randrange(self.TREE_KEYS)
+                        tree.emit_update(
+                            asm,
+                            key,
+                            rng,
+                            rebalance_prob=self.REBALANCE_PROB,
+                            silent_prob=self.SILENT_PROB,
+                        )
+                script.add_txn(asm.build(), label="reserve")
+                script.add_work(self.WORK_BUSY)
+            scripts.append(script)
+
+        return GeneratedWorkload(
+            memory=memory, scripts=scripts, checks=checks
+        )

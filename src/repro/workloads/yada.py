@@ -1,0 +1,72 @@
+"""``yada`` — Delaunay mesh refinement (STAMP).
+
+Irregular traversals of a shared mesh: each transaction walks a
+cavity of neighbor pointers and re-triangulates it.  The conflicts
+are on the data central to the computation (the pointers themselves,
+which are also used as addresses), so neither software restructuring
+nor RETCON helps — the paper's §5.4 limitation case.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Assembler
+from repro.mem.allocator import BumpAllocator
+from repro.mem.memory import MainMemory
+from repro.sim.script import ThreadScript
+from repro.workloads.base import (
+    GeneratedWorkload,
+    InvariantResult,
+    Workload,
+    WorkloadSpec,
+    make_rng,
+)
+from repro.workloads.structures.mesh import SimMesh
+
+
+class YadaWorkload(Workload):
+    ELEMENTS = 192
+    REFINES_PER_THREAD = 20
+    MIN_HOPS = 3
+    MAX_HOPS = 8
+    TXN_BUSY = 70
+    WORK_BUSY = 60
+
+    def __init__(self) -> None:
+        self.spec = WorkloadSpec(
+            name="yada",
+            description="From STAMP, Delaunay mesh refinement",
+            parameters="-a20 -i 633.2 (scaled)",
+        )
+
+    def generate(
+        self, nthreads: int, seed: int = 1, scale: float = 1.0
+    ) -> GeneratedWorkload:
+        memory = MainMemory()
+        alloc = BumpAllocator()
+        rng = make_rng(seed)
+        mesh = SimMesh(
+            memory, alloc, nelements=self.ELEMENTS, rng=rng
+        )
+
+        refines = self.scaled(self.REFINES_PER_THREAD, scale)
+        scripts = []
+        for _thread in range(nthreads):
+            script = ThreadScript()
+            for _ in range(refines):
+                asm = Assembler()
+                mesh.emit_refine(
+                    asm,
+                    start=rng.randrange(self.ELEMENTS),
+                    hops=rng.randrange(self.MIN_HOPS, self.MAX_HOPS + 1),
+                )
+                asm.nop(self.TXN_BUSY)
+                script.add_txn(asm.build(), label="refine")
+                script.add_work(self.WORK_BUSY)
+            scripts.append(script)
+
+        def check(mem: MainMemory) -> InvariantResult:
+            return InvariantResult("mesh", *mesh.validate(mem))
+
+        return GeneratedWorkload(
+            memory=memory, scripts=scripts, checks=[check]
+        )

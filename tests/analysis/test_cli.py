@@ -1,0 +1,90 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "kmeans"])
+        assert args.system == "retcon"
+        assert args.cores == 32
+        assert args.scale == 1.0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "quicksort"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "genome-sz" in out
+        assert "retcon" in out
+
+    def test_run(self, capsys):
+        code = main(
+            ["run", "kmeans", "--cores", "2", "--scale", "0.1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "speedup" in out
+        assert "invariant [centers]: ok" in out
+
+    def test_compare(self, capsys):
+        code = main(
+            ["compare", "kmeans", "--cores", "2", "--scale", "0.1",
+             "--systems", "eager,retcon"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "eager" in out and "retcon" in out
+
+    def test_table_1_and_2(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "Processor" in capsys.readouterr().out
+        assert main(["table", "2"]) == 0
+        assert "STAMP" in capsys.readouterr().out
+
+    def test_table_out_of_range(self, capsys):
+        assert main(["table", "7"]) == 2
+
+    def test_figure_2(self, capsys):
+        assert main(["figure", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "retcon" in out and "datm" in out
+
+    def test_figure_out_of_range(self, capsys):
+        assert main(["figure", "8"]) == 2
+
+    def test_figure_1_small(self, capsys):
+        code = main(
+            ["figure", "1", "--cores", "2", "--scale", "0.05"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "python" in out
+
+    def test_sweep(self, capsys):
+        code = main(
+            ["sweep", "kmeans", "--core-counts", "1,2",
+             "--scale", "0.1", "--systems", "eager"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cores" in out and "eager" in out
+
+    def test_run_prints_label_breakdown(self, capsys):
+        code = main(
+            ["run", "intruder", "--system", "eager", "--cores", "2",
+             "--scale", "0.1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "txn[capture]" in out

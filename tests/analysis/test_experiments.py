@@ -1,0 +1,77 @@
+"""EXPERIMENTS.md generation (tiny scale: structure, not numbers)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ShapeCheck,
+    figure3_checks,
+    figure9_checks,
+    generate_report,
+    table3_checks,
+)
+
+
+class TestShapeChecks:
+    def test_figure9_checks_structure(self):
+        matrix = {
+            name: {"eager": 1.0, "lazy-vb": 1.2, "retcon": 20.0}
+            for name in (
+                "python_opt", "python", "genome", "genome-sz",
+                "intruder", "intruder_opt-sz", "vacation",
+                "vacation_opt-sz", "yada",
+            )
+        }
+        checks = figure9_checks(matrix)
+        assert all(isinstance(c, ShapeCheck) for c in checks)
+        assert len(checks) >= 8
+        by_desc = {c.description: c for c in checks}
+        assert by_desc[
+            "python_opt transformed from no scaling to near-linear"
+        ].ok
+
+    def test_figure3_checks_detect_failure(self):
+        series = {
+            "intruder": 10.0, "intruder_opt": 11.0,  # not rescued
+            "vacation": 5.0, "vacation_opt": 20.0,
+            "intruder_opt-sz": 3.0, "genome": 15.0, "genome-sz": 5.0,
+        }
+        checks = {c.description: c for c in figure3_checks(series)}
+        assert not checks["restructuring rescues intruder"].ok
+        assert checks["restructuring rescues vacation"].ok
+
+    def test_table3_checks(self):
+        data = {
+            "python": {
+                "blocks_tracked": (10.0, 16),
+                "private_stores": (20.0, 30),
+                "commit_stall_percent": 2.0,
+                "blocks_lost": (9.0, 16),
+            },
+            "genome": {
+                "blocks_tracked": (1.0, 3),
+                "private_stores": (1.0, 4),
+                "commit_stall_percent": 0.5,
+                "blocks_lost": (0.1, 2),
+            },
+        }
+        checks = table3_checks(data)
+        assert all(c.ok for c in checks)
+
+
+@pytest.mark.slow
+class TestGenerateReport:
+    def test_report_structure(self):
+        report = generate_report(ncores=2, seed=4, scale=0.05)
+        for heading in (
+            "# EXPERIMENTS",
+            "## Table 1",
+            "## Table 2",
+            "## Figure 2",
+            "## Figures 1 & 3",
+            "## Figure 4",
+            "## Figure 9",
+            "## Figure 10",
+            "## Table 3",
+        ):
+            assert heading in report, heading
+        assert "| shape claim | paper | measured | holds |" in report

@@ -1,0 +1,73 @@
+"""ASCII report rendering."""
+
+from repro.analysis.report import (
+    bar_chart,
+    breakdown_chart,
+    format_speedup_matrix,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(
+            ["name", "value"], [("a", 1), ("longer", 22)]
+        )
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "longer" in lines[3]
+        # Columns align: 'value' header over the numbers.
+        col = lines[0].index("value")
+        assert lines[2][col] == "1"
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert len(out.splitlines()) == 2
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        out = bar_chart({"small": 1.0, "big": 10.0}, width=10)
+        small_line, big_line = out.splitlines()
+        assert small_line.count("#") == 1
+        assert big_line.count("#") == 10
+
+    def test_explicit_max(self):
+        out = bar_chart({"x": 16.0}, width=32, max_value=32.0)
+        assert out.count("#") == 16
+
+    def test_empty_series(self):
+        assert bar_chart({}, title="t") == "t"
+
+
+class TestBreakdownChart:
+    def test_segments_sum_to_width(self):
+        out = breakdown_chart(
+            {"w": {"busy": 0.5, "conflict": 0.5}}, width=20
+        )
+        bar_line = out.splitlines()[-1]
+        assert bar_line.count("B") == 10
+        assert bar_line.count("C") == 10
+
+    def test_scales_shrink_bars(self):
+        out = breakdown_chart(
+            {"w": {"busy": 1.0}}, width=20, scales={"w": 0.5}
+        )
+        assert out.splitlines()[-1].count("B") == 10
+
+    def test_legend_present(self):
+        out = breakdown_chart({"w": {"busy": 1.0}})
+        assert "B=busy" in out
+
+
+class TestSpeedupMatrix:
+    def test_rows_and_columns(self):
+        out = format_speedup_matrix(
+            {"wl": {"eager": 1.0, "retcon": 25.4}},
+            ("eager", "retcon"),
+            title="T",
+        )
+        assert out.startswith("T\n")
+        assert "25.4" in out
+        assert "eager" in out.splitlines()[1]

@@ -1,0 +1,54 @@
+"""Core-count sweep utilities."""
+
+from repro.analysis.sweeps import (
+    core_sweep,
+    crossover_core_count,
+    format_sweep,
+)
+
+
+class TestCoreSweep:
+    def test_points_per_core_count(self):
+        points = core_sweep(
+            "kmeans", "eager", core_counts=(1, 2), scale=0.1
+        )
+        assert [p.ncores for p in points] == [1, 2]
+        assert all(p.speedup > 0 for p in points)
+
+    def test_single_core_near_unity(self):
+        (point,) = core_sweep(
+            "ssca2", "retcon", core_counts=(1,), scale=0.15
+        )
+        assert 0.85 < point.speedup < 1.15
+
+    def test_crossover_detects_retcon_advantage(self):
+        crossover = crossover_core_count(
+            "python_opt",
+            better="retcon",
+            worse="eager",
+            core_counts=(1, 4, 8),
+            advantage=1.5,
+            scale=0.15,
+        )
+        assert crossover in (4, 8)
+
+    def test_crossover_none_when_equivalent(self):
+        crossover = crossover_core_count(
+            "ssca2",
+            better="retcon",
+            worse="eager",
+            core_counts=(1, 2),
+            advantage=2.0,
+            scale=0.1,
+        )
+        assert crossover is None
+
+    def test_format_sweep(self):
+        curves = {
+            "eager": core_sweep(
+                "kmeans", "eager", core_counts=(1, 2), scale=0.1
+            )
+        }
+        text = format_sweep("kmeans", curves)
+        assert "kmeans" in text
+        assert "cores" in text

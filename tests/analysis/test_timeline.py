@@ -1,0 +1,58 @@
+"""Timeline rendering."""
+
+from repro.analysis.timeline import figure2_timelines, render_timeline
+from repro.sim.trace import Tracer
+
+
+class TestRenderTimeline:
+    def test_empty_tracer(self):
+        assert "no timestamped" in render_timeline(Tracer(), ncores=2)
+
+    def test_lanes_and_glyphs(self):
+        tracer = Tracer()
+        tracer.emit("begin", 0, cycle=0)
+        tracer.emit("commit", 0, cycle=100)
+        tracer.emit("begin", 1, cycle=10)
+        tracer.emit("abort", 1, cycle=50, reason="conflict")
+        out = render_timeline(tracer, ncores=2, width=20)
+        lines = out.splitlines()
+        assert lines[1].startswith("core 0: B")
+        assert lines[1].rstrip().endswith("C")
+        assert "A" in lines[2]
+
+    def test_untimestamped_events_skipped(self):
+        tracer = Tracer()
+        tracer.emit("begin", 0)  # no cycle
+        tracer.emit("commit", 0, cycle=10)
+        out = render_timeline(tracer, ncores=1, width=10)
+        assert "B" not in out.splitlines()[1]
+
+    def test_commit_precedence_over_repair(self):
+        tracer = Tracer()
+        tracer.emit("repair", 0, cycle=50, addr=1, value=2)
+        tracer.emit("commit", 0, cycle=50)
+        out = render_timeline(tracer, ncores=1, width=10)
+        assert "C" in out and "R" not in out.splitlines()[1]
+
+    def test_idle_cores_omitted(self):
+        tracer = Tracer()
+        tracer.emit("commit", 0, cycle=5)
+        out = render_timeline(tracer, ncores=4, width=10)
+        assert "core 3" not in out
+
+
+class TestFigure2Timelines:
+    def test_all_systems_rendered(self):
+        timelines = figure2_timelines(txns_per_core=1)
+        assert set(timelines) == {
+            "retcon", "datm", "eager-abort", "eager-stall", "lazy"
+        }
+        for system, timeline in timelines.items():
+            assert "core 0" in timeline, system
+
+    def test_machine_stamps_cycles_automatically(self):
+        timelines = figure2_timelines(txns_per_core=2)
+        # RETCON's lane must contain repairs or at most one abort.
+        assert "R" in timelines["retcon"] or timelines[
+            "retcon"
+        ].count("A") <= 1

@@ -1,0 +1,97 @@
+"""Coherence protocol invariants under random access sequences."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coherence.directory import CoherenceFabric
+from repro.sim.config import small_test_config
+
+NCORES = 4
+BLOCKS = list(range(8))
+
+accesses = st.lists(
+    st.tuples(
+        st.integers(0, NCORES - 1),
+        st.sampled_from(BLOCKS),
+        st.booleans(),
+    ),
+    max_size=60,
+)
+
+
+@given(sequence=accesses)
+@settings(max_examples=150, deadline=None)
+def test_single_writer_multiple_readers(sequence):
+    """After any access sequence: a block's owner (exclusive holder)
+    exists only when it is the *sole* holder, and writable L1 lines
+    exist only on the owner."""
+    fabric = CoherenceFabric(small_test_config(ncores=NCORES), NCORES)
+    for core, block, write in sequence:
+        fabric.acquire(core, block, write)
+    for block in BLOCKS:
+        owner = fabric.owner_of(block)
+        holders = fabric.holders_of(block)
+        if owner is not None:
+            assert holders == {owner}
+        for core in range(NCORES):
+            line = fabric.cores[core].l1.lookup(block, touch=False)
+            if line is not None and line.writable:
+                assert owner == core
+
+
+@given(sequence=accesses)
+@settings(max_examples=100, deadline=None)
+def test_latency_is_always_positive_and_bounded(sequence):
+    config = small_test_config(ncores=NCORES)
+    fabric = CoherenceFabric(config, NCORES)
+    worst = (
+        config.l2_hit_cycles + 3 * config.hop_cycles + config.dram_cycles
+    )
+    for core, block, write in sequence:
+        outcome = fabric.acquire(core, block, write)
+        assert 1 <= outcome.latency <= worst
+
+
+@given(sequence=accesses)
+@settings(max_examples=100, deadline=None)
+def test_repeat_access_is_an_l1_hit(sequence):
+    """Immediately repeating any access hits the L1 (no state was left
+    inconsistent by the first one)."""
+    fabric = CoherenceFabric(small_test_config(ncores=NCORES), NCORES)
+    for core, block, write in sequence:
+        fabric.acquire(core, block, write)
+        again = fabric.acquire(core, block, write)
+        assert again.latency == 1, (core, block, write)
+
+
+@given(
+    sequence=accesses,
+    spec=st.lists(
+        st.tuples(
+            st.integers(0, NCORES - 1),
+            st.sampled_from(BLOCKS),
+            st.booleans(),
+        ),
+        max_size=20,
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_spec_bit_bookkeeping_is_consistent(sequence, spec):
+    """The reverse maps used for O(1) conflict probing always agree
+    with the per-core speculative sets."""
+    fabric = CoherenceFabric(small_test_config(ncores=NCORES), NCORES)
+    for core, block, write in spec:
+        fabric.mark_spec(core, block, write)
+    for core, block, write in sequence:
+        fabric.acquire(core, block, write)
+    for block in BLOCKS:
+        readers = fabric.spec_readers(block)
+        writers = fabric.spec_writers(block)
+        for core in range(NCORES):
+            caches = fabric.cores[core]
+            assert (core in readers) == (block in caches.spec_read)
+            assert (core in writers) == (block in caches.spec_written)
+    # Clearing one core never disturbs the others.
+    fabric.clear_spec(0)
+    assert not fabric.cores[0].spec_read
+    assert not fabric.cores[0].spec_written

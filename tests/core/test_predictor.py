@@ -1,0 +1,46 @@
+"""Conflict-trained tracking predictor (paper §5.1)."""
+
+from repro.core.predictor import ConflictPredictor
+
+
+class TestPredictor:
+    def test_untrained_blocks_not_tracked(self):
+        predictor = ConflictPredictor()
+        assert not predictor.should_track(5)
+
+    def test_trains_after_threshold_conflicts(self):
+        predictor = ConflictPredictor(train_threshold=2)
+        predictor.observe_conflict(5)
+        assert not predictor.should_track(5)
+        predictor.observe_conflict(5)
+        assert predictor.should_track(5)
+
+    def test_training_is_per_block(self):
+        predictor = ConflictPredictor()
+        predictor.observe_conflict(5)
+        assert predictor.should_track(5)
+        assert not predictor.should_track(6)
+
+    def test_violation_trains_down_hard(self):
+        predictor = ConflictPredictor(train_threshold=1, backoff=100)
+        predictor.observe_conflict(5)
+        assert predictor.should_track(5)
+        predictor.observe_violation(5)
+        assert not predictor.should_track(5)
+        # Needs 100 fresh conflicts before retrying (paper §5.1).
+        for _ in range(99):
+            predictor.observe_conflict(5)
+        assert not predictor.should_track(5)
+        predictor.observe_conflict(5)
+        assert predictor.should_track(5)
+
+    def test_always_track_mode(self):
+        predictor = ConflictPredictor(always_track=True)
+        assert predictor.should_track(12345)
+
+    def test_tracked_blocks_listing(self):
+        predictor = ConflictPredictor()
+        predictor.observe_conflict(3)
+        predictor.observe_conflict(9)
+        predictor.observe_violation(9)
+        assert predictor.tracked_blocks() == [3]

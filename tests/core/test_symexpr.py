@@ -1,0 +1,113 @@
+"""General symbolic expressions, and their agreement with the
+optimized (root, delta) representation on trackable programs."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.symexpr import (
+    Add,
+    Const,
+    Loc,
+    Neg,
+    Scale,
+    as_sym_value,
+    simplify,
+)
+from repro.core.symvalue import SymValue
+
+A = Loc(0x100)
+B = Loc(0x200)
+
+
+class TestEvaluation:
+    def test_constant(self):
+        assert Const(5).evaluate({}) == 5
+
+    def test_location(self):
+        assert A.evaluate({A.root: 9}) == 9
+
+    def test_composite(self):
+        expr = (A + 3) - B
+        env = {A.root: 10, B.root: 4}
+        assert expr.evaluate(env) == 9
+
+    def test_negation_and_scale(self):
+        expr = Scale(Neg(A), 3)
+        assert expr.evaluate({A.root: 2}) == -6
+
+    def test_roots(self):
+        assert (A + B + 1).roots() == {A.root, B.root}
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        expr = Const(2) + Const(3)
+        assert simplify(expr) == Const(5)
+
+    def test_cancellation(self):
+        assert simplify(A - A) == Const(0)
+
+    def test_preserves_semantics(self):
+        expr = (A + 2) + (Neg(B) + 3) + A
+        env = {A.root: 7, B.root: 5}
+        assert simplify(expr).evaluate(env) == expr.evaluate(env)
+
+
+class TestCollapse:
+    def test_root_plus_delta_collapses(self):
+        assert as_sym_value(A + 2 - 5) == SymValue(0x100, 8, -3)
+
+    def test_plain_root(self):
+        assert as_sym_value(A) == SymValue(0x100, 8, 0)
+
+    def test_two_roots_do_not_collapse(self):
+        assert as_sym_value(A + B) is None
+
+    def test_negated_root_does_not_collapse(self):
+        assert as_sym_value(Const(5) - A) is None
+
+    def test_scaled_root_does_not_collapse(self):
+        assert as_sym_value(Scale(A, 2)) is None
+
+    def test_cancelled_scale_collapses(self):
+        # 2*[A] - [A] == [A]: linearization recovers the trackable form.
+        assert as_sym_value(Scale(A, 2) - A) == SymValue(0x100, 8, 0)
+
+
+# -- property: the optimized form agrees with the general algorithm -----
+_trackable = st.deferred(
+    lambda: st.one_of(
+        st.just(A),
+        st.tuples(_trackable, st.integers(-10, 10)).map(
+            lambda t: t[0] + t[1]
+        ),
+        st.tuples(_trackable, st.integers(-10, 10)).map(
+            lambda t: t[0] - t[1]
+        ),
+    )
+)
+
+
+@given(expr=_trackable, root_value=st.integers(-1000, 1000))
+def test_trackable_programs_collapse_exactly(expr, root_value):
+    """Any chain of constant additions/subtractions applied to one
+    root — the §4.4-trackable computations — collapses to a SymValue
+    whose evaluation matches the general expression everywhere."""
+    sym = as_sym_value(expr)
+    assert sym is not None
+    env = {A.root: root_value}
+    assert sym.evaluate(root_value) == expr.evaluate(env)
+
+
+@given(
+    coeffs=st.lists(st.integers(-3, 3), min_size=1, max_size=5),
+    consts=st.lists(st.integers(-10, 10), min_size=1, max_size=5),
+    values=st.tuples(st.integers(-50, 50), st.integers(-50, 50)),
+)
+def test_simplify_is_semantics_preserving(coeffs, consts, values):
+    expr = Const(0)
+    for i, (coeff, const) in enumerate(zip(coeffs, consts)):
+        term = Scale(A if i % 2 == 0 else B, coeff)
+        expr = Add(expr, Add(term, Const(const)))
+    env = {A.root: values[0], B.root: values[1]}
+    assert simplify(expr).evaluate(env) == expr.evaluate(env)

@@ -1,0 +1,30 @@
+"""Symbolic value representation."""
+
+from repro.core.symvalue import SymValue
+
+
+class TestSymValue:
+    def test_evaluate_applies_delta(self):
+        sym = SymValue(0x100, 8, delta=3)
+        assert sym.evaluate(10) == 13
+
+    def test_shifted_accumulates(self):
+        sym = SymValue(0x100, 8)
+        assert sym.shifted(2).shifted(-5).delta == -3
+
+    def test_shifted_is_pure(self):
+        sym = SymValue(0x100, 8, delta=1)
+        sym.shifted(10)
+        assert sym.delta == 1
+
+    def test_root_identity(self):
+        assert SymValue(0x100, 4).root == (0x100, 4)
+
+    def test_equality_and_hash(self):
+        assert SymValue(0x100, 8, 1) == SymValue(0x100, 8, 1)
+        assert SymValue(0x100, 8, 1) != SymValue(0x100, 8, 2)
+        assert len({SymValue(0x100, 8, 1), SymValue(0x100, 8, 1)}) == 1
+
+    def test_repr_shows_increment(self):
+        assert "+3" in repr(SymValue(0x40, 8, 3))
+        assert "-2" in repr(SymValue(0x40, 8, -2))

@@ -1,0 +1,58 @@
+"""Contention management policies."""
+
+import pytest
+
+from repro.htm.contention import (
+    Action,
+    RequesterAbortsPolicy,
+    RequesterStallsPolicy,
+    TimestampPolicy,
+    get_policy,
+)
+
+
+class TestTimestampPolicy:
+    policy = TimestampPolicy()
+
+    def test_older_requester_aborts_holder(self):
+        r = self.policy.resolve(requester_ts=1, holder_ts=5,
+                                requester_nontx=False)
+        assert r.action is Action.ABORT_REMOTE
+
+    def test_younger_requester_stalls(self):
+        r = self.policy.resolve(requester_ts=5, holder_ts=1,
+                                requester_nontx=False)
+        assert r.action is Action.STALL
+
+    def test_non_transactional_always_wins(self):
+        r = self.policy.resolve(requester_ts=99, holder_ts=1,
+                                requester_nontx=True)
+        assert r.action is Action.ABORT_REMOTE
+
+
+class TestFigure2Policies:
+    def test_requester_aborts(self):
+        policy = RequesterAbortsPolicy()
+        r = policy.resolve(1, 5, requester_nontx=False)
+        assert r.action is Action.ABORT_SELF
+
+    def test_requester_stalls(self):
+        policy = RequesterStallsPolicy()
+        r = policy.resolve(1, 5, requester_nontx=False)
+        assert r.action is Action.STALL
+
+    @pytest.mark.parametrize(
+        "policy", [RequesterAbortsPolicy(), RequesterStallsPolicy()]
+    )
+    def test_non_tx_requester_never_loses(self, policy):
+        r = policy.resolve(1, 5, requester_nontx=True)
+        assert r.action is Action.ABORT_REMOTE
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(get_policy("timestamp"), TimestampPolicy)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown contention policy"):
+            get_policy("coin-flip")

@@ -1,0 +1,85 @@
+"""Plain lazy TM (commit-time detection, committer wins)."""
+
+import pytest
+
+from repro.coherence.directory import CoherenceFabric
+from repro.htm.lazy import LazyTMSystem
+from repro.mem.memory import MainMemory
+from repro.sim.config import small_test_config
+from repro.sim.stats import MachineStats
+
+ADDR = 0x4000
+
+
+def make_lazy(ncores=2):
+    config = small_test_config(ncores=ncores)
+    memory = MainMemory()
+    system = LazyTMSystem(
+        config, memory, CoherenceFabric(config, ncores),
+        MachineStats(ncores),
+    )
+    return system, memory
+
+
+class TestLazyTM:
+    def test_stores_invisible_until_commit(self):
+        system, memory = make_lazy()
+        memory.write(ADDR, 1)
+        system.begin(0)
+        system.store(0, ADDR, 8, 99)
+        assert memory.read(ADDR) == 1
+        system.commit(0)
+        assert memory.read(ADDR) == 99
+
+    def test_own_stores_forward_to_own_loads(self):
+        system, _ = make_lazy()
+        system.begin(0)
+        system.store(0, ADDR, 8, 7)
+        assert system.load(0, ADDR, 8).value == 7
+
+    def test_no_conflict_during_execution(self):
+        system, _ = make_lazy()
+        system.begin(0)
+        system.begin(1)
+        system.store(0, ADDR, 8, 1)
+        system.store(1, ADDR, 8, 2)  # no exception: lazy
+        system.load(0, ADDR, 8)
+
+    def test_committer_aborts_conflicting_readers(self):
+        system, _ = make_lazy()
+        system.begin(0)
+        system.begin(1)
+        system.load(1, ADDR, 8)
+        system.store(0, ADDR, 8, 5)
+        system.commit(0)
+        assert system.poll_doomed(1) == "conflict"
+
+    def test_committer_aborts_conflicting_writers(self):
+        system, memory = make_lazy()
+        system.begin(0)
+        system.begin(1)
+        system.store(1, ADDR, 8, 2)
+        system.store(0, ADDR, 8, 5)
+        system.commit(0)
+        assert system.poll_doomed(1) == "conflict"
+        assert memory.read(ADDR) == 5
+
+    def test_disjoint_commits_coexist(self):
+        system, memory = make_lazy()
+        system.begin(0)
+        system.begin(1)
+        system.store(0, ADDR, 8, 1)
+        system.store(1, ADDR + 64, 8, 2)
+        system.commit(0)
+        assert system.poll_doomed(1) is None
+        system.commit(1)
+        assert memory.read(ADDR) == 1
+        assert memory.read(ADDR + 64) == 2
+
+    def test_subword_store_composition(self):
+        system, memory = make_lazy()
+        memory.write(ADDR, 0x1111111111111111)
+        system.begin(0)
+        system.store(0, ADDR + 2, 2, 0xFFFF)
+        value = system.load(0, ADDR, 8).value
+        assert value == 0x1111FFFF1111 | (0x1111 << 48)

@@ -1,0 +1,149 @@
+"""Baseline TM system: conflict detection, resolution, versioning."""
+
+import pytest
+
+from repro.coherence.directory import CoherenceFabric
+from repro.htm.events import StallRetry, TxnAborted
+from repro.htm.system import BaseTMSystem, build_system
+from repro.mem.memory import MainMemory
+from repro.sim.config import small_test_config
+from repro.sim.stats import MachineStats
+
+ADDR = 0x4000
+
+
+def make_system(name="eager", ncores=3):
+    config = small_test_config(ncores=ncores)
+    memory = MainMemory()
+    fabric = CoherenceFabric(config, ncores)
+    stats = MachineStats(ncores)
+    system = build_system(name, config, memory, fabric, stats)
+    return system, memory
+
+
+class TestLifecycle:
+    def test_begin_commit(self):
+        system, memory = make_system()
+        system.begin(0)
+        assert system.in_txn(0)
+        system.store(0, ADDR, 8, 42)
+        system.commit(0)
+        assert not system.in_txn(0)
+        assert memory.read(ADDR) == 42
+        assert system.stats.core(0).commits == 1
+
+    def test_nested_begin_rejected(self):
+        system, _ = make_system()
+        system.begin(0)
+        with pytest.raises(RuntimeError, match="nested"):
+            system.begin(0)
+
+    def test_commit_outside_txn_rejected(self):
+        system, _ = make_system()
+        with pytest.raises(RuntimeError):
+            system.commit(0)
+
+    def test_timestamps_preserved_across_restart(self):
+        system, _ = make_system()
+        system.begin(0)
+        ts0 = system.ctx[0].ts
+        system.begin(1)
+        assert system.ctx[1].ts > ts0
+        # Simulate restart: the original timestamp is kept so the
+        # oldest-transaction-wins policy guarantees progress.
+        system.ctx[0].active = False
+        system.begin(0, restart=True)
+        assert system.ctx[0].ts == ts0
+
+
+class TestConflictResolution:
+    def test_older_requester_dooms_younger_holder(self):
+        system, memory = make_system()
+        system.begin(0)  # older
+        system.begin(1)  # younger
+        system.store(1, ADDR, 8, 99)
+        system.store(0, ADDR, 8, 1)  # conflicts; core 1 is doomed
+        assert system.poll_doomed(1) == "conflict"
+        assert memory.read(ADDR) == 1  # core 1's store rolled back first
+
+    def test_younger_requester_stalls(self):
+        system, _ = make_system()
+        system.begin(0)
+        system.begin(1)
+        system.store(0, ADDR, 8, 1)
+        with pytest.raises(StallRetry):
+            system.store(1, ADDR, 8, 2)
+        # After the holder commits, the retry succeeds.
+        system.commit(0)
+        system.store(1, ADDR, 8, 2)
+
+    def test_read_read_is_not_a_conflict(self):
+        system, _ = make_system()
+        system.begin(0)
+        system.begin(1)
+        system.load(0, ADDR, 8)
+        system.load(1, ADDR, 8)  # no exception
+        system.commit(0)
+        system.commit(1)
+
+    def test_write_read_conflict(self):
+        system, _ = make_system()
+        system.begin(0)
+        system.begin(1)
+        system.load(1, ADDR, 8)
+        # Older writer aborts the younger reader.
+        system.store(0, ADDR, 8, 5)
+        assert system.poll_doomed(1) == "conflict"
+
+    def test_non_transactional_access_always_wins(self):
+        system, memory = make_system()
+        system.begin(0)
+        system.store(0, ADDR, 8, 5)
+        system.store(2, ADDR, 8, 7)  # core 2 not in a transaction
+        assert system.poll_doomed(0) == "conflict"
+        assert memory.read(ADDR) == 7
+
+    def test_stall_deadlock_broken_by_aborting_younger(self):
+        system, _ = make_system("eager-stall")
+        system.begin(0)
+        system.begin(1)
+        system.store(0, ADDR, 8, 1)
+        system.store(1, ADDR + 64, 8, 2)
+        with pytest.raises(StallRetry):
+            system.store(1, ADDR, 8, 3)  # 1 waits on 0
+        # 0 requesting 1's block would deadlock: the younger dies.
+        system.store(0, ADDR + 64, 8, 4)
+        assert system.poll_doomed(1) == "conflict"
+
+
+class TestVersioning:
+    def test_abort_restores_memory(self):
+        system, memory = make_system()
+        memory.write(ADDR, 10)
+        system.begin(0)
+        system.store(0, ADDR, 8, 20)
+        assert memory.read(ADDR) == 20  # eager: in place
+        system._doom(0, reason="conflict")
+        assert memory.read(ADDR) == 10
+        assert system.poll_doomed(0) == "conflict"
+
+    def test_doomed_core_restores_before_requester_reads(self):
+        system, memory = make_system()
+        memory.write(ADDR, 10)
+        system.begin(1)
+        system.store(1, ADDR, 8, 99)
+        system.begin(0)  # hmm: 0 begun after 1, so 0 is younger
+        with pytest.raises(StallRetry):
+            system.load(0, ADDR, 8)
+        system._doom(1, reason="conflict")
+        result = system.load(0, ADDR, 8)
+        assert result.value == 10
+
+
+class TestStatsAccounting:
+    def test_aborts_counted_by_reason(self):
+        system, _ = make_system()
+        system.begin(0)
+        with pytest.raises(TxnAborted):
+            system._abort_self(0, reason="capacity")
+        assert system.stats.core(0).aborts == {"capacity": 1}

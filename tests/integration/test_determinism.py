@@ -1,0 +1,60 @@
+"""Exact reproducibility: identical machines produce identical runs.
+
+The deterministic min-cycle scheduler plus seeded workload generation
+means every simulation is exactly repeatable — a property the whole
+benchmark harness depends on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import run_counter_machine
+from repro.sim.runner import run_workload
+
+SYSTEMS = ("eager", "lazy-vb", "retcon", "datm", "retcon-fwd")
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_counter_machine_is_deterministic(system):
+    first, counter1 = run_counter_machine(
+        system, ncores=4, txns_per_core=6
+    )
+    second, counter2 = run_counter_machine(
+        system, ncores=4, txns_per_core=6
+    )
+    assert counter1 == counter2
+    assert first.cycles == second.cycles
+    assert first.aborts == second.aborts
+    assert first.stats.breakdown() == second.stats.breakdown()
+
+
+@given(
+    system=st.sampled_from(("eager", "retcon")),
+    ncores=st.integers(2, 5),
+    txns=st.integers(1, 5),
+)
+@settings(max_examples=15, deadline=None)
+def test_determinism_property(system, ncores, txns):
+    runs = [
+        run_counter_machine(system, ncores=ncores, txns_per_core=txns)
+        for _ in range(2)
+    ]
+    assert runs[0][0].cycles == runs[1][0].cycles
+    assert runs[0][1] == runs[1][1]
+
+
+def test_workload_results_are_identical_across_processes_worth():
+    """Same seed, same everything — including the RETCON samples."""
+    a = run_workload("genome-sz", "retcon", ncores=4, seed=11,
+                     scale=0.15)
+    b = run_workload("genome-sz", "retcon", ncores=4, seed=11,
+                     scale=0.15)
+    assert a.cycles == b.cycles
+    assert a.table3 == b.table3
+    assert a.by_label == b.by_label
+
+    different_seed = run_workload(
+        "genome-sz", "retcon", ncores=4, seed=12, scale=0.15
+    )
+    assert different_seed.cycles != a.cycles  # the seed matters

@@ -1,0 +1,25 @@
+"""Every example script runs to completion (they self-verify)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout  # every example prints its findings

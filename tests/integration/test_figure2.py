@@ -1,0 +1,27 @@
+"""Figure 2's qualitative comparison as a fast integration test."""
+
+from repro.analysis.figures import figure2
+
+
+class TestFigure2:
+    def test_counter_stays_exact_on_every_system(self):
+        # figure2() itself asserts the final counter value per system.
+        points = figure2(txns_per_core=4, increments=2)
+        assert set(points) == {
+            "retcon", "datm", "eager-abort", "eager-stall", "lazy"
+        }
+
+    def test_retcon_commits_without_rollbacks(self):
+        points = figure2(txns_per_core=4, increments=2)
+        assert points["retcon"].aborts <= 1  # predictor training only
+
+    def test_datm_aborts_on_cyclic_dependences(self):
+        points = figure2(txns_per_core=4, increments=2)
+        assert points["datm"].aborts > points["retcon"].aborts
+
+    def test_eager_stall_trades_aborts_for_stalls(self):
+        points = figure2(txns_per_core=4, increments=2)
+        eager = points["eager-abort"]
+        stall = points["eager-stall"]
+        assert stall.aborts < eager.aborts
+        assert stall.stall_events > 0

@@ -1,0 +1,69 @@
+"""ALU and condition semantics."""
+
+import pytest
+
+from repro.isa.instructions import (
+    Cond,
+    apply_op,
+    evaluate_cond,
+    negate_cond,
+)
+
+
+class TestApplyOp:
+    def test_add(self):
+        assert apply_op("add", 5, 7) == 12
+
+    def test_sub(self):
+        assert apply_op("sub", 5, 7) == -2
+
+    def test_mul(self):
+        assert apply_op("mul", -3, 4) == -12
+
+    def test_div_truncates_toward_zero(self):
+        assert apply_op("div", 7, 2) == 3
+        assert apply_op("div", -7, 2) == -3
+        assert apply_op("div", 7, -2) == -3
+        assert apply_op("div", -7, -2) == 3
+
+    def test_div_by_zero_is_quiet(self):
+        assert apply_op("div", 42, 0) == 0
+
+    def test_bitwise(self):
+        assert apply_op("and", 0b1100, 0b1010) == 0b1000
+        assert apply_op("or", 0b1100, 0b1010) == 0b1110
+        assert apply_op("xor", 0b1100, 0b1010) == 0b0110
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ValueError):
+            apply_op("shl", 1, 2)
+
+
+class TestConditions:
+    CASES = [
+        (Cond.EQ, 3, 3, True),
+        (Cond.EQ, 3, 4, False),
+        (Cond.NE, 3, 4, True),
+        (Cond.LT, -1, 0, True),
+        (Cond.LT, 0, 0, False),
+        (Cond.LE, 0, 0, True),
+        (Cond.GT, 5, 4, True),
+        (Cond.GE, 4, 4, True),
+        (Cond.GE, 3, 4, False),
+    ]
+
+    @pytest.mark.parametrize("cond,lhs,rhs,expected", CASES)
+    def test_evaluate(self, cond, lhs, rhs, expected):
+        assert evaluate_cond(cond, lhs, rhs) is expected
+
+    @pytest.mark.parametrize("cond", list(Cond))
+    def test_negation_is_complement(self, cond):
+        for lhs in (-2, 0, 1, 7):
+            for rhs in (-2, 0, 1, 7):
+                assert evaluate_cond(cond, lhs, rhs) != evaluate_cond(
+                    negate_cond(cond), lhs, rhs
+                )
+
+    @pytest.mark.parametrize("cond", list(Cond))
+    def test_negation_is_involution(self, cond):
+        assert negate_cond(negate_cond(cond)) is cond

@@ -1,0 +1,75 @@
+"""Assembler and program construction."""
+
+import pytest
+
+from repro.isa.instructions import Branch, Cond, Imm, Load, Nop, Reg, Store
+from repro.isa.program import Assembler, AssemblerError
+from repro.isa.registers import R1, R2
+
+
+class TestAssembler:
+    def test_builds_instruction_sequence(self):
+        program = (
+            Assembler()
+            .load(R1, 0x100)
+            .addi(R1, R1, 1)
+            .store(R1, 0x100)
+            .build()
+        )
+        assert len(program) == 3
+        assert isinstance(program.instructions[0], Load)
+        assert isinstance(program.instructions[2], Store)
+
+    def test_labels_resolve_forward_and_backward(self):
+        asm = Assembler()
+        asm.mark("top")
+        asm.br(Cond.EQ, R1, 0, "bottom")
+        asm.jump("top")
+        asm.mark("bottom")
+        program = asm.build()
+        assert program.target("top") == 0
+        assert program.target("bottom") == 2
+
+    def test_duplicate_label_rejected(self):
+        asm = Assembler().mark("x")
+        with pytest.raises(AssemblerError):
+            asm.mark("x")
+
+    def test_undefined_label_rejected_at_build(self):
+        asm = Assembler().jump("nowhere")
+        with pytest.raises(AssemblerError, match="nowhere"):
+            asm.build()
+
+    def test_fresh_labels_are_unique(self):
+        asm = Assembler()
+        labels = {asm.fresh_label() for _ in range(100)}
+        assert len(labels) == 100
+
+    def test_int_operands_coerce_to_immediates(self):
+        program = Assembler().store(7, 0x40).build()
+        store = program.instructions[0]
+        assert store.src == Imm(7)
+
+    def test_register_operands_pass_through(self):
+        program = Assembler().store(R2, 0x40).build()
+        assert program.instructions[0].src == R2
+        assert isinstance(program.instructions[0].src, Reg)
+
+    def test_zero_cycle_nop_elided(self):
+        program = Assembler().nop(0).nop(5).build()
+        assert len(program) == 1
+        assert program.instructions[0] == Nop(cycles=5)
+
+    def test_branch_records_operands(self):
+        program = (
+            Assembler().mark("t").br(Cond.GT, R1, 10, "t").build()
+        )
+        branch = program.instructions[0]
+        assert isinstance(branch, Branch)
+        assert branch.cond is Cond.GT
+        assert branch.src2 == Imm(10)
+
+    def test_chaining_returns_self(self):
+        asm = Assembler()
+        assert asm.nop(1) is asm
+        assert asm.movi(R1, 3) is asm

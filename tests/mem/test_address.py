@@ -1,0 +1,50 @@
+"""Address arithmetic helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem.address import (
+    BLOCK_SIZE,
+    WORD_SIZE,
+    block_base,
+    block_of,
+    block_offset,
+    blocks_spanned,
+    word_index,
+)
+
+
+class TestBlockMath:
+    def test_block_of(self):
+        assert block_of(0) == 0
+        assert block_of(63) == 0
+        assert block_of(64) == 1
+
+    def test_block_base_inverts_block_of(self):
+        assert block_base(block_of(130)) == 128
+
+    def test_offset_and_word_index(self):
+        assert block_offset(64 + 17) == 17
+        assert word_index(64 + 17) == 2
+
+    def test_blocks_spanned_within_one_block(self):
+        assert blocks_spanned(8, 8) == [0]
+
+    def test_blocks_spanned_across_boundary(self):
+        assert blocks_spanned(60, 8) == [0, 1]
+
+    def test_blocks_spanned_large_range(self):
+        assert blocks_spanned(0, 3 * BLOCK_SIZE) == [0, 1, 2]
+
+
+@given(addr=st.integers(0, 10**9), size=st.integers(1, 256))
+def test_spanned_blocks_cover_the_range(addr, size):
+    spanned = blocks_spanned(addr, size)
+    assert spanned[0] == block_of(addr)
+    assert spanned[-1] == block_of(addr + size - 1)
+    assert spanned == list(range(spanned[0], spanned[-1] + 1))
+
+
+@given(addr=st.integers(0, 10**6))
+def test_word_index_in_range(addr):
+    assert 0 <= word_index(addr) < BLOCK_SIZE // WORD_SIZE

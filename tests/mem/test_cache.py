@@ -1,0 +1,101 @@
+"""Set-associative cache model: LRU, speculative-bit victim policy."""
+
+from repro.mem.cache import PermissionsOnlyCache, SetAssocCache
+
+
+def make_cache(sets=2, assoc=2):
+    return SetAssocCache(
+        size_bytes=sets * assoc * 64, assoc=assoc, block_size=64
+    )
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.lookup(5) is None
+        cache.insert(5, writable=False)
+        line = cache.lookup(5)
+        assert line is not None and line.block == 5
+
+    def test_insert_upgrades_permission(self):
+        cache = make_cache()
+        cache.insert(5, writable=False)
+        assert not cache.lookup(5).writable
+        cache.insert(5, writable=True)
+        assert cache.lookup(5).writable
+
+    def test_insert_never_downgrades(self):
+        cache = make_cache()
+        cache.insert(5, writable=True)
+        cache.insert(5, writable=False)
+        assert cache.lookup(5).writable
+
+
+class TestReplacement:
+    def test_lru_eviction(self):
+        cache = make_cache(sets=1, assoc=2)
+        cache.insert(0, False)
+        cache.insert(1, False)
+        cache.lookup(0)  # 1 becomes LRU
+        _, evicted = cache.insert(2, False)
+        assert evicted is not None and evicted.block == 1
+        assert 0 in cache and 2 in cache and 1 not in cache
+
+    def test_speculative_lines_are_protected(self):
+        cache = make_cache(sets=1, assoc=2)
+        line0, _ = cache.insert(0, False)
+        line0.spec_read = True
+        cache.insert(1, False)
+        cache.lookup(0)  # 1 is LRU but 0 is speculative anyway
+        _, evicted = cache.insert(2, False)
+        assert evicted.block == 1
+
+    def test_all_speculative_set_evicts_speculative(self):
+        cache = make_cache(sets=1, assoc=2)
+        for block in (0, 1):
+            line, _ = cache.insert(block, False)
+            line.spec_read = True
+        _, evicted = cache.insert(2, False)
+        assert evicted is not None and evicted.speculative
+
+
+class TestInvalidation:
+    def test_invalidate_returns_line_with_bits(self):
+        cache = make_cache()
+        line, _ = cache.insert(7, True)
+        line.spec_written = True
+        removed = cache.invalidate(7)
+        assert removed.spec_written
+        assert 7 not in cache
+
+    def test_invalidate_missing_is_noop(self):
+        assert make_cache().invalidate(9) is None
+
+    def test_downgrade_drops_write_permission(self):
+        cache = make_cache()
+        cache.insert(7, True)
+        cache.downgrade(7)
+        assert 7 in cache
+        assert not cache.lookup(7).writable
+
+
+class TestSpeculativeBits:
+    def test_iterate_and_clear(self):
+        cache = make_cache()
+        for block in range(3):
+            line, _ = cache.insert(block, False)
+            if block != 1:
+                line.spec_read = True
+        spec = {line.block for line in cache.speculative_lines()}
+        assert spec == {0, 2}
+        cache.clear_speculative_bits()
+        assert not list(cache.speculative_lines())
+
+
+class TestPermissionsOnlyCache:
+    def test_reach_exceeds_data_cache(self):
+        # 4KB of 1-byte metadata entries covers 4096 blocks.
+        perm = PermissionsOnlyCache(4 * 1024, assoc=4, block_size=64)
+        data = SetAssocCache(4 * 1024, assoc=4, block_size=64)
+        assert perm.num_sets * perm.assoc == 4096
+        assert data.num_sets * data.assoc == 64

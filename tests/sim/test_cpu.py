@@ -1,0 +1,143 @@
+"""The core interpreter: instruction semantics through a 1-core machine."""
+
+from repro.isa.instructions import Cond
+from repro.isa.program import Assembler
+from repro.isa.registers import R1, R2, R3, R4
+from repro.mem.memory import MainMemory
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.script import ThreadScript
+
+
+def run_program(asm: Assembler, memory=None, system="eager"):
+    memory = memory or MainMemory()
+    script = ThreadScript()
+    script.add_txn(asm.build())
+    machine = Machine(
+        MachineConfig().with_cores(1), system, [script], memory
+    )
+    result = machine.run()
+    return machine.cores[0], memory, result
+
+
+class TestArithmetic:
+    def test_load_add_store(self):
+        memory = MainMemory()
+        memory.write(0x100, 5)
+        asm = Assembler().load(R1, 0x100).addi(R1, R1, 3).store(R1, 0x100)
+        _, memory, _ = run_program(asm, memory)
+        assert memory.read(0x100) == 8
+
+    def test_mov_movi(self):
+        asm = Assembler().movi(R1, 42).mov(R2, R1).store(R2, 0x80)
+        _, memory, _ = run_program(asm)
+        assert memory.read(0x80) == 42
+
+    def test_register_ops(self):
+        asm = (
+            Assembler()
+            .movi(R1, 6)
+            .movi(R2, 7)
+            .mul(R3, R1, R2)
+            .store(R3, 0x80)
+        )
+        _, memory, _ = run_program(asm)
+        assert memory.read(0x80) == 42
+
+
+class TestControlFlow:
+    def test_taken_branch_skips(self):
+        asm = Assembler()
+        asm.movi(R1, 5)
+        asm.br(Cond.GT, R1, 3, "skip")
+        asm.movi(R2, 111)  # skipped
+        asm.mark("skip")
+        asm.store(R2, 0x80)
+        _, memory, _ = run_program(asm)
+        assert memory.read(0x80) == 0
+
+    def test_loop_counts(self):
+        asm = Assembler()
+        asm.movi(R1, 0)
+        asm.mark("loop")
+        asm.addi(R1, R1, 1)
+        asm.br(Cond.LT, R1, 10, "loop")
+        asm.store(R1, 0x80)
+        _, memory, _ = run_program(asm)
+        assert memory.read(0x80) == 10
+
+    def test_cmp_bcc(self):
+        asm = Assembler()
+        asm.movi(R1, 5)
+        asm.cmp(R1, 5)
+        asm.bcc(Cond.EQ, "equal")
+        asm.movi(R2, 1)
+        asm.mark("equal")
+        asm.store(R2, 0x80)
+        _, memory, _ = run_program(asm)
+        assert memory.read(0x80) == 0
+
+    def test_jump(self):
+        asm = Assembler()
+        asm.jump("end")
+        asm.movi(R1, 1)
+        asm.mark("end")
+        asm.store(R1, 0x80)
+        _, memory, _ = run_program(asm)
+        assert memory.read(0x80) == 0
+
+    def test_halt_stops_program(self):
+        asm = Assembler().movi(R1, 1).halt().movi(R1, 2)
+        asm.store(R1, 0x80)
+        core, memory, _ = run_program(asm)
+        assert memory.read(0x80) == 0  # store never ran
+
+
+class TestIndirectAddressing:
+    def test_pointer_chase(self):
+        memory = MainMemory()
+        memory.write(0x100, 0x200)  # pointer
+        memory.write(0x208, 77)  # target, at disp 8
+        asm = Assembler().load(R1, 0x100).load_ind(R2, R1, 8)
+        asm.store(R2, 0x80)
+        _, memory, _ = run_program(asm, memory)
+        assert memory.read(0x80) == 77
+
+    def test_store_indirect(self):
+        memory = MainMemory()
+        asm = Assembler().movi(R1, 0x300).movi(R2, 9)
+        asm.store_ind(R2, R1, 16)
+        _, memory, _ = run_program(asm, memory)
+        assert memory.read(0x310) == 9
+
+
+class TestSubword:
+    def test_byte_store_and_load(self):
+        memory = MainMemory()
+        memory.write(0x100, 0x1122334455667788, 8)
+        asm = Assembler().movi(R1, 0xAB).store(R1, 0x102, size=1)
+        asm.load(R2, 0x100, size=8).store(R2, 0x80)
+        _, memory, _ = run_program(asm, memory)
+        # Byte 2 (little-endian) replaced by 0xAB.
+        assert memory.read(0x100) == 0x11223344_55AB7788
+        assert memory.read(0x80) == 0x11223344_55AB7788
+
+    def test_halfword_load_sign_extends(self):
+        memory = MainMemory()
+        memory.write(0x100, -2, 2)
+        asm = Assembler().load(R1, 0x100, size=2).store(R1, 0x80)
+        _, memory, _ = run_program(asm, memory)
+        assert memory.read(0x80) == -2
+
+
+class TestTiming:
+    def test_nop_charges_cycles(self):
+        asm = Assembler().nop(500)
+        core, _, result = run_program(asm)
+        assert result.cycles >= 500
+
+    def test_stats_busy_accounts_committed_work(self):
+        asm = Assembler().nop(100)
+        core, _, result = run_program(asm)
+        assert core.stats.busy >= 100
+        assert core.stats.conflict == 0

@@ -1,0 +1,32 @@
+"""Per-transaction-label statistics."""
+
+from repro.sim.runner import run_workload
+from repro.sim.stats import MachineStats
+
+
+class TestLabelSummary:
+    def test_merges_across_cores(self):
+        stats = MachineStats(2)
+        stats.core(0).label_commits["a"] = 2
+        stats.core(1).label_commits["a"] = 3
+        stats.core(1).label_aborts["a"] = 1
+        stats.core(0).label_commits["b"] = 1
+        assert stats.label_summary() == {"a": (5, 1), "b": (1, 0)}
+
+    def test_workload_labels_surface(self):
+        result = run_workload("intruder", "eager", ncores=2, scale=0.1)
+        assert set(result.by_label) == {
+            "capture", "reassemble", "handoff"
+        }
+        commits = sum(c for c, _ in result.by_label.values())
+        assert commits == result.commits
+
+    def test_queue_stages_dominate_intruder_aborts(self):
+        """The paper's diagnosis: intruder's conflicts are the queues,
+        not the reassembly work."""
+        result = run_workload("intruder", "eager", ncores=4, scale=0.3)
+        by_label = result.by_label
+        queue_aborts = (
+            by_label["capture"][1] + by_label["handoff"][1]
+        )
+        assert queue_aborts > by_label["reassemble"][1]

@@ -1,0 +1,97 @@
+"""Scheduler, barriers, and run results."""
+
+import pytest
+
+from repro.isa.program import Assembler
+from repro.isa.registers import R1
+from repro.mem.memory import MainMemory
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine, SimulationTimeout
+from repro.sim.script import ThreadScript
+from tests.conftest import counter_increment_txn, run_counter_machine
+
+
+class TestScheduler:
+    def test_counter_is_serializable_across_cores(self):
+        result, counter = run_counter_machine(
+            "eager", ncores=4, txns_per_core=5, increments=2
+        )
+        assert counter == 4 * 5 * 2
+        assert result.commits == 20
+
+    def test_too_many_scripts_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(
+                MachineConfig().with_cores(1),
+                "eager",
+                [ThreadScript(), ThreadScript()],
+                MainMemory(),
+            )
+
+    def test_timeout_raises(self):
+        script = ThreadScript()
+        asm = Assembler().nop(10_000)
+        script.add_txn(asm.build())
+        machine = Machine(
+            MachineConfig().with_cores(1), "eager", [script], MainMemory()
+        )
+        with pytest.raises(SimulationTimeout):
+            machine.run(max_cycles=100)
+
+    def test_empty_scripts_finish_immediately(self):
+        machine = Machine(
+            MachineConfig().with_cores(2),
+            "eager",
+            [ThreadScript(), ThreadScript()],
+            MainMemory(),
+        )
+        result = machine.run()
+        assert result.cycles == 0
+
+
+class TestBarrier:
+    def test_barrier_synchronizes_and_charges_wait(self):
+        fast = ThreadScript()
+        fast.add_work(10)
+        fast.add_barrier()
+        fast.add_txn(counter_increment_txn(0x100))
+        slow = ThreadScript()
+        slow.add_work(500)
+        slow.add_barrier()
+        slow.add_txn(counter_increment_txn(0x100))
+        machine = Machine(
+            MachineConfig().with_cores(2),
+            "eager",
+            [fast, slow],
+            MainMemory(),
+        )
+        result = machine.run()
+        fast_core, slow_core = machine.cores
+        assert fast_core.stats.barrier >= 490
+        assert slow_core.stats.barrier == 0
+        assert result.stats.breakdown()["barrier"] > 0
+
+    def test_barrier_with_done_cores_releases(self):
+        """A thread with no barrier (already done) must not block it."""
+        with_barrier = ThreadScript()
+        with_barrier.add_work(10)
+        with_barrier.add_barrier()
+        with_barrier.add_work(10)
+        empty = ThreadScript()
+        machine = Machine(
+            MachineConfig().with_cores(2),
+            "eager",
+            [with_barrier, empty],
+            MainMemory(),
+        )
+        result = machine.run()
+        assert result.cycles == 20
+
+
+class TestRunResult:
+    def test_aborts_surface(self):
+        result, _ = run_counter_machine(
+            "eager", ncores=4, txns_per_core=10, increments=3, busy=5
+        )
+        assert result.aborts == result.stats.total_aborts()
+        assert result.system_name == "eager"

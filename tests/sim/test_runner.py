@@ -1,0 +1,60 @@
+"""High-level runner: speedups, baselines, invariants."""
+
+from repro.sim.config import MachineConfig
+from repro.sim.runner import (
+    generate_and_baseline,
+    run_sequential,
+    run_workload,
+)
+from repro.workloads.registry import get_workload
+
+
+class TestRunner:
+    def test_result_fields(self):
+        result = run_workload("kmeans", "eager", ncores=2, scale=0.1)
+        assert result.workload == "kmeans"
+        assert result.system == "eager"
+        assert result.ncores == 2
+        assert result.cycles > 0
+        assert result.seq_cycles > 0
+        assert result.commits > 0
+        assert abs(
+            sum(result.breakdown.values()) - 1.0
+        ) < 1e-9
+        assert result.invariants
+        assert result.invariants_ok
+
+    def test_seq_cycles_can_be_supplied(self):
+        result = run_workload(
+            "kmeans", "eager", ncores=2, scale=0.1, seq_cycles=12345
+        )
+        assert result.seq_cycles == 12345
+        assert result.speedup == 12345 / result.cycles
+
+    def test_single_core_speedup_near_one(self):
+        """One core running the parallel build must track the
+        sequential baseline closely (no conflicts, same work)."""
+        result = run_workload("ssca2", "eager", ncores=1, scale=0.2)
+        assert 0.9 < result.speedup < 1.1
+
+    def test_sequential_run_commits_everything(self):
+        generated = get_workload("kmeans").generate(2, scale=0.1)
+        seq = run_sequential(generated, MachineConfig())
+        expected = sum(s.txn_count() for s in generated.scripts)
+        assert seq.stats.total_commits() == expected
+        assert seq.stats.total_aborts() == 0
+
+    def test_generate_and_baseline(self):
+        generated, seq_cycles = generate_and_baseline(
+            "kmeans", ncores=2, scale=0.1
+        )
+        assert seq_cycles > 0
+        assert len(generated.scripts) == 2
+
+    def test_same_seed_same_cycles(self):
+        first = run_workload("genome", "retcon", ncores=2, scale=0.1,
+                             seed=9)
+        second = run_workload("genome", "retcon", ncores=2, scale=0.1,
+                              seed=9)
+        assert first.cycles == second.cycles
+        assert first.aborts == second.aborts

@@ -1,0 +1,56 @@
+"""Thread scripts and sequential-order helpers."""
+
+from repro.isa.program import Assembler
+from repro.sim.script import (
+    Barrier,
+    ThreadScript,
+    Txn,
+    Work,
+    concatenate,
+    interleave,
+)
+
+
+def txn():
+    return Assembler().nop(1).build()
+
+
+class TestThreadScript:
+    def test_builders(self):
+        script = ThreadScript()
+        script.add_txn(txn(), label="t")
+        script.add_work(10)
+        script.add_barrier()
+        assert [type(i) for i in script.items] == [Txn, Work, Barrier]
+        assert script.txn_count() == 1
+        assert len(script) == 3
+
+    def test_zero_work_elided(self):
+        script = ThreadScript()
+        script.add_work(0)
+        assert len(script) == 0
+
+
+class TestSequentialOrders:
+    def make(self):
+        a = ThreadScript()
+        a.add_txn(txn(), "a1")
+        a.add_barrier()
+        a.add_txn(txn(), "a2")
+        b = ThreadScript()
+        b.add_txn(txn(), "b1")
+        b.add_barrier()
+        b.add_txn(txn(), "b2")
+        return a, b
+
+    def test_concatenate_drops_barriers(self):
+        merged = concatenate(list(self.make()))
+        labels = [i.label for i in merged.items if isinstance(i, Txn)]
+        assert labels == ["a1", "a2", "b1", "b2"]
+        assert not any(isinstance(i, Barrier) for i in merged.items)
+
+    def test_interleave_round_robins(self):
+        merged = interleave(list(self.make()))
+        labels = [i.label for i in merged.items if isinstance(i, Txn)]
+        assert labels == ["a1", "b1", "a2", "b2"]
+        assert merged.txn_count() == 4

@@ -1,0 +1,204 @@
+"""Data-structure models: run their programs sequentially and check
+the resulting memory state."""
+
+import random
+
+import pytest
+
+from repro.isa.program import Assembler
+from repro.mem.allocator import BumpAllocator
+from repro.mem.memory import MainMemory
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.script import ThreadScript
+from repro.workloads.structures import (
+    SimHashTable,
+    SimMesh,
+    SimQueue,
+    SimRefHeap,
+    SimTree,
+)
+
+
+def run_txns(memory, programs, system="eager", ncores=1):
+    scripts = [ThreadScript() for _ in range(ncores)]
+    for i, program in enumerate(programs):
+        scripts[i % ncores].add_txn(program)
+    machine = Machine(
+        MachineConfig().with_cores(ncores), system, scripts, memory
+    )
+    machine.run()
+
+
+class TestHashTable:
+    def make(self, resizable, nbuckets=8):
+        memory = MainMemory()
+        alloc = BumpAllocator()
+        table = SimHashTable(
+            memory, alloc, nbuckets=nbuckets, resizable=resizable,
+            initial_threshold=4,
+        )
+        return memory, table
+
+    @pytest.mark.parametrize("resizable", [False, True])
+    def test_inserts_form_chains(self, resizable):
+        memory, table = self.make(resizable)
+        programs = []
+        for key in range(10):
+            asm = Assembler()
+            table.emit_insert(asm, key)
+            programs.append(asm.build())
+        run_txns(memory, programs)
+        ok, detail = table.validate(memory)
+        assert ok, detail
+
+    def test_size_field_tracks_inserts(self):
+        memory, table = self.make(resizable=True)
+        asm = Assembler()
+        for key in range(6):
+            table.emit_insert(asm, key)
+        run_txns(memory, [asm.build()])
+        assert memory.read(table.size_addr) == 6
+
+    def test_resize_doubles_threshold(self):
+        memory, table = self.make(resizable=True)
+        asm = Assembler()
+        for key in range(5):  # crosses the threshold of 4
+            table.emit_insert(asm, key)
+        run_txns(memory, [asm.build()])
+        assert memory.read(table.threshold_addr) == 8
+
+    def test_lookup_walks_chain(self):
+        memory, table = self.make(resizable=False, nbuckets=1)
+        asm = Assembler()
+        for key in (1, 2, 3):
+            table.emit_insert(asm, key)
+        table.emit_lookup(asm, 2)
+        table.emit_lookup(asm, 99)  # miss: walks to chain end
+        run_txns(memory, [asm.build()])
+        ok, detail = table.validate(memory)
+        assert ok, detail
+
+    def test_validate_catches_corruption(self):
+        memory, table = self.make(resizable=True)
+        asm = Assembler()
+        table.emit_insert(asm, 1)
+        run_txns(memory, [asm.build()])
+        memory.write(table.size_addr, 99)
+        ok, detail = table.validate(memory)
+        assert not ok
+        assert "size" in detail
+
+
+class TestQueue:
+    def test_fifo_round_trip(self):
+        memory = MainMemory()
+        queue = SimQueue(memory, BumpAllocator(), capacity=16)
+        asm = Assembler()
+        for value in (10, 20, 30):
+            queue.emit_enqueue(asm, value)
+        queue.emit_dequeue(asm)
+        run_txns(memory, [asm.build()])
+        assert memory.read(queue.tail_addr) == 3
+        assert memory.read(queue.head_addr) == 1
+        ok, detail = queue.validate(memory)
+        assert ok, detail
+
+    def test_dequeue_on_empty_skips(self):
+        memory = MainMemory()
+        queue = SimQueue(memory, BumpAllocator(), capacity=4)
+        asm = Assembler()
+        queue.emit_dequeue(asm)
+        run_txns(memory, [asm.build()])
+        assert memory.read(queue.head_addr) == 0
+
+    def test_prefill(self):
+        memory = MainMemory()
+        queue = SimQueue(memory, BumpAllocator(), capacity=8)
+        queue.prefill([5, 6, 7])
+        assert memory.read(queue.tail_addr) == 3
+        ok, detail = queue.validate(memory)
+        assert ok, detail
+
+
+class TestTree:
+    def test_updates_reach_all_keys(self):
+        memory = MainMemory()
+        rng = random.Random(7)
+        tree = SimTree(memory, BumpAllocator(), keys=list(range(31)))
+        programs = []
+        for key in (0, 15, 30, 7, 15):
+            asm = Assembler()
+            tree.emit_update(asm, key, rng, rebalance_prob=0.5)
+            programs.append(asm.build())
+        run_txns(memory, programs)
+        ok, detail = tree.validate(memory)
+        assert ok, detail
+        node = tree.node_of_key[15]
+        assert memory.read(node + 32) == 2  # two updates of key 15
+
+    def test_tree_is_a_valid_bst(self):
+        memory = MainMemory()
+        tree = SimTree(memory, BumpAllocator(), keys=list(range(15)))
+
+        def walk(addr, lo, hi):
+            if addr == 0:
+                return []
+            key = memory.read(addr)
+            assert lo < key < hi
+            return (
+                walk(memory.read(addr + 8), lo, key)
+                + [key]
+                + walk(memory.read(addr + 16), key, hi)
+            )
+
+        assert walk(tree.root, -1, 15) == list(range(15))
+
+
+class TestRefHeap:
+    def test_incref_decref_balance(self):
+        memory = MainMemory()
+        heap = SimRefHeap(memory, BumpAllocator(), nobjects=4)
+        asm = Assembler()
+        heap.emit_incref(asm, 0)
+        heap.emit_incref(asm, 0)
+        heap.emit_decref(asm, 0)
+        heap.emit_incref(asm, 3)
+        run_txns(memory, [asm.build()])
+        ok, detail = heap.validate(memory)
+        assert ok, detail
+        assert memory.read(heap.object_addrs[0]) == 2  # 1 + 2 - 1
+        assert memory.read(heap.object_addrs[3]) == 2
+
+    def test_validate_catches_leak(self):
+        memory = MainMemory()
+        heap = SimRefHeap(memory, BumpAllocator(), nobjects=2)
+        memory.write(heap.object_addrs[1], 7)
+        ok, detail = heap.validate(memory)
+        assert not ok
+
+
+class TestMesh:
+    def test_refinement_counts_visits(self):
+        memory = MainMemory()
+        rng = random.Random(3)
+        mesh = SimMesh(memory, BumpAllocator(), nelements=8, rng=rng)
+        programs = []
+        for start in (0, 3, 5):
+            asm = Assembler()
+            mesh.emit_refine(asm, start=start, hops=4)
+            programs.append(asm.build())
+        run_txns(memory, programs)
+        ok, detail = mesh.validate(memory)
+        assert ok, detail
+        assert mesh.total_visits == 3 * 5
+
+    def test_pointers_stay_valid_after_retriangulation(self):
+        memory = MainMemory()
+        rng = random.Random(3)
+        mesh = SimMesh(memory, BumpAllocator(), nelements=6, rng=rng)
+        asm = Assembler()
+        mesh.emit_refine(asm, start=0, hops=5)
+        run_txns(memory, [asm.build()])
+        ok, detail = mesh.validate(memory)
+        assert ok, detail

@@ -1,0 +1,77 @@
+"""Every Table 2 workload runs end-to-end on every evaluation system
+at small scale, and its invariants hold afterwards."""
+
+import pytest
+
+from repro.sim.runner import run_workload
+from repro.workloads.registry import ALL_VARIANTS, WORKLOADS, get_workload
+
+SYSTEMS = ("eager", "lazy-vb", "retcon")
+
+
+class TestRegistry:
+    def test_all_variants_registered(self):
+        assert set(ALL_VARIANTS) <= set(WORKLOADS)
+        assert len(ALL_VARIANTS) == 14
+        # bayes is registered but excluded from the figures (paper §3).
+        assert "bayes" in WORKLOADS
+        assert "bayes" not in ALL_VARIANTS
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            get_workload("quicksort")
+
+    def test_specs_have_descriptions(self):
+        for name, workload in WORKLOADS.items():
+            assert workload.spec.name == name
+            assert workload.spec.description
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", ALL_VARIANTS)
+    def test_generates_one_script_per_thread(self, name):
+        generated = get_workload(name).generate(3, seed=2, scale=0.1)
+        assert len(generated.scripts) == 3
+        assert all(len(s) > 0 for s in generated.scripts)
+        assert generated.checks
+
+    def test_generation_is_deterministic(self):
+        first = get_workload("genome").generate(2, seed=5, scale=0.1)
+        second = get_workload("genome").generate(2, seed=5, scale=0.1)
+        for s1, s2 in zip(first.scripts, second.scripts):
+            assert len(s1.items) == len(s2.items)
+        assert (
+            first.memory.read_bytes(64, 256)
+            == second.memory.read_bytes(64, 256)
+        )
+
+    def test_scale_changes_volume(self):
+        small = get_workload("ssca2").generate(2, scale=0.1)
+        large = get_workload("ssca2").generate(2, scale=0.5)
+        assert (
+            large.scripts[0].txn_count() > small.scripts[0].txn_count()
+        )
+
+
+@pytest.mark.parametrize("name", ALL_VARIANTS + ("bayes",))
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_workload_invariants_hold(name, system):
+    """The paper's serializability guarantee, checked per workload:
+    whatever the conflict resolution (abort, stall, steal + repair),
+    the final shared state matches the generated operations."""
+    result = run_workload(
+        name, system, ncores=4, seed=3, scale=0.12
+    )
+    assert result.commits > 0
+    failed = result.failed_invariants()
+    assert not failed, failed
+
+
+@pytest.mark.parametrize("name", ["python_opt", "genome-sz"])
+def test_retcon_reduces_aborts(name):
+    """On auxiliary-data workloads RETCON must abort far less than the
+    eager baseline (the paper's core claim, at test scale)."""
+    eager = run_workload(name, "eager", ncores=8, seed=3, scale=0.5)
+    retcon = run_workload(name, "retcon", ncores=8, seed=3, scale=0.5)
+    assert retcon.aborts < eager.aborts / 2
+    assert retcon.cycles < eager.cycles
