@@ -8,26 +8,27 @@ it against requester-aborts (Figure 2c) and requester-stalls
 """
 
 from repro.analysis.report import format_table
-from repro.sim.runner import generate_and_baseline, run_workload
+from repro.exp import run_matrix
 
 from conftest import emit
 
 POLICIES = ("eager", "eager-abort", "eager-stall")
+WORKLOAD = "genome-sz"
 
 
 def test_contention_policies(run_once, bench_params):
-    params = dict(bench_params)
-    # Conflict-heavy but short-transaction workload keeps this cheap.
-    params["scale"] = min(params["scale"], 0.4)
-
     def sweep():
-        _, seq = generate_and_baseline("genome-sz", **params)
-        return {
-            policy: run_workload(
-                "genome-sz", policy, seq_cycles=seq, **params
-            )
-            for policy in POLICIES
-        }
+        matrix = run_matrix(
+            (WORKLOAD,),
+            POLICIES,
+            ncores=bench_params["ncores"],
+            seed=bench_params["seed"],
+            # Conflict-heavy but short-transaction workload keeps this
+            # cheap.
+            scale=min(bench_params["scale"], 0.4),
+            jobs=bench_params["jobs"],
+        )
+        return {policy: matrix[(WORKLOAD, policy)] for policy in POLICIES}
 
     results = run_once(sweep)
     rows = [

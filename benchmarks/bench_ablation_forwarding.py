@@ -15,7 +15,7 @@ integration does not rescue them either.
 """
 
 from repro.analysis.report import format_table
-from repro.sim.runner import generate_and_baseline, run_workload
+from repro.exp import run_matrix
 
 from conftest import emit
 
@@ -24,21 +24,21 @@ SYSTEMS = ("retcon", "retcon-fwd")
 
 
 def test_retcon_forwarding_hybrid(run_once, bench_params):
-    params = dict(bench_params)
-    params["scale"] = min(params["scale"], 0.4)
-    params["ncores"] = min(params["ncores"], 16)
-
     def sweep():
-        out = {}
-        for name in WORKLOADS:
-            _, seq = generate_and_baseline(name, **params)
-            out[name] = {
-                system: run_workload(
-                    name, system, seq_cycles=seq, **params
-                )
-                for system in SYSTEMS
+        matrix = run_matrix(
+            WORKLOADS,
+            SYSTEMS,
+            ncores=min(bench_params["ncores"], 16),
+            seed=bench_params["seed"],
+            scale=min(bench_params["scale"], 0.4),
+            jobs=bench_params["jobs"],
+        )
+        return {
+            name: {
+                system: matrix[(name, system)] for system in SYSTEMS
             }
-        return out
+            for name in WORKLOADS
+        }
 
     results = run_once(sweep)
     rows = []

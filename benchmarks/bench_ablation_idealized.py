@@ -7,33 +7,43 @@ and the serial commit are not the bottleneck.
 """
 
 from repro.analysis.report import format_table
+from repro.exp import Point, run_points
 from repro.sim.config import MachineConfig
-from repro.sim.runner import generate_and_baseline, run_workload
 
 from conftest import emit
 
 WORKLOADS = ("python_opt", "genome-sz", "vacation_opt-sz")
 
 
-def run_pair(name, ncores, seed, scale):
-    config = MachineConfig().with_cores(ncores)
-    _, seq = generate_and_baseline(
-        name, ncores=ncores, seed=seed, scale=scale, config=config
-    )
-    default = run_workload(
-        name, "retcon", ncores=ncores, seed=seed, scale=scale,
-        config=config, seq_cycles=seq,
-    )
-    idealized = run_workload(
-        name, "retcon", ncores=ncores, seed=seed, scale=scale,
-        config=config.idealize(), seq_cycles=seq,
-    )
-    return default, idealized
-
-
 def test_idealized_retcon_changes_little(run_once, bench_params):
+    base = MachineConfig().with_cores(bench_params["ncores"])
+    points = {
+        (name, label): Point(
+            workload=name,
+            system="retcon",
+            ncores=bench_params["ncores"],
+            seed=bench_params["seed"],
+            scale=bench_params["scale"],
+            config=config,
+        )
+        for name in WORKLOADS
+        for label, config in (
+            ("default", base),
+            ("idealized", base.idealize()),
+        )
+    }
+
     def sweep():
-        return {name: run_pair(name, **bench_params) for name in WORKLOADS}
+        results = run_points(
+            points.values(), jobs=bench_params["jobs"]
+        )
+        return {
+            name: (
+                results[points[(name, "default")]],
+                results[points[(name, "idealized")]],
+            )
+            for name in WORKLOADS
+        }
 
     results = run_once(sweep)
     rows = [

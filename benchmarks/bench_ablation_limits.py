@@ -9,7 +9,7 @@ close to the eager baseline — unlike the repairable workloads.
 """
 
 from repro.analysis.report import format_table
-from repro.sim.runner import generate_and_baseline, run_workload
+from repro.exp import run_matrix
 
 from conftest import emit
 
@@ -19,18 +19,18 @@ REPAIRABLE = ("python_opt", "genome-sz")
 
 def test_unrepairable_workloads(run_once, bench_params):
     def sweep():
-        out = {}
-        for name in UNREPAIRABLE + REPAIRABLE:
-            _, seq = generate_and_baseline(name, **bench_params)
-            out[name] = (
-                run_workload(
-                    name, "eager", seq_cycles=seq, **bench_params
-                ),
-                run_workload(
-                    name, "retcon", seq_cycles=seq, **bench_params
-                ),
-            )
-        return out
+        matrix = run_matrix(
+            UNREPAIRABLE + REPAIRABLE,
+            ("eager", "retcon"),
+            ncores=bench_params["ncores"],
+            seed=bench_params["seed"],
+            scale=bench_params["scale"],
+            jobs=bench_params["jobs"],
+        )
+        return {
+            name: (matrix[(name, "eager")], matrix[(name, "retcon")])
+            for name in UNREPAIRABLE + REPAIRABLE
+        }
 
     results = run_once(sweep)
     rows = [

@@ -10,8 +10,8 @@ performance saturates well below the configured sizes.
 from dataclasses import replace
 
 from repro.analysis.report import format_table
+from repro.exp import Point, run_points
 from repro.sim.config import MachineConfig
-from repro.sim.runner import generate_and_baseline, run_workload
 
 from conftest import emit
 
@@ -20,30 +20,28 @@ SSB_SIZES = (4, 8, 32)
 
 
 def test_structure_sizing(run_once, bench_params):
-    ncores = bench_params["ncores"]
-    seed = bench_params["seed"]
-    scale = bench_params["scale"]
+    base = MachineConfig().with_cores(bench_params["ncores"])
+    configs = {("ivb", n): replace(base, ivb_entries=n) for n in IVB_SIZES}
+    configs.update(
+        {("ssb", n): replace(base, ssb_entries=n) for n in SSB_SIZES}
+    )
+    points = {
+        key: Point(
+            workload="python_opt",
+            system="retcon",
+            ncores=bench_params["ncores"],
+            seed=bench_params["seed"],
+            scale=bench_params["scale"],
+            config=config,
+        )
+        for key, config in configs.items()
+    }
 
     def sweep():
-        base = MachineConfig().with_cores(ncores)
-        _, seq = generate_and_baseline(
-            "python_opt", ncores=ncores, seed=seed, scale=scale,
-            config=base,
+        results = run_points(
+            points.values(), jobs=bench_params["jobs"]
         )
-        results = {}
-        for ivb in IVB_SIZES:
-            config = replace(base, ivb_entries=ivb)
-            results[("ivb", ivb)] = run_workload(
-                "python_opt", "retcon", ncores=ncores, seed=seed,
-                scale=scale, config=config, seq_cycles=seq,
-            )
-        for ssb in SSB_SIZES:
-            config = replace(base, ssb_entries=ssb)
-            results[("ssb", ssb)] = run_workload(
-                "python_opt", "retcon", ncores=ncores, seed=seed,
-                scale=scale, config=config, seq_cycles=seq,
-            )
-        return results
+        return {key: results[point] for key, point in points.items()}
 
     results = run_once(sweep)
     rows = [

@@ -69,6 +69,59 @@ def test_interpreter_throughput(benchmark):
     assert ips > 20_000
 
 
+def test_engine_parallel_speedup(benchmark):
+    """Experiment-engine wall-clock: the smoke grid run serially vs
+    with a worker pool.
+
+    Records serial and parallel seconds (plus the ratio) in the
+    benchmark's ``extra_info`` so BENCH_*.json tracks the parallel
+    speedup across PRs.  On single-core CI runners the pool adds
+    overhead instead of speedup, so the assertion only guards against
+    pathological regressions (and checks result equivalence).
+    """
+    import json
+    import os
+    import time
+
+    from repro.exp import run_points, smoke_spec
+
+    jobs = max(2, min(4, os.cpu_count() or 1))
+    points = smoke_spec(scale=0.2).points()
+
+    def run_both():
+        start = time.perf_counter()
+        serial = run_points(points, jobs=1)
+        serial_s = time.perf_counter() - start
+        start = time.perf_counter()
+        parallel = run_points(points, jobs=jobs)
+        parallel_s = time.perf_counter() - start
+        return serial, serial_s, parallel, parallel_s
+
+    serial, serial_s, parallel, parallel_s = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    # Parallel execution must be a pure performance knob: identical
+    # results, point for point.
+    assert [
+        json.dumps(r.to_dict(), sort_keys=True) for r in serial.values()
+    ] == [
+        json.dumps(r.to_dict(), sort_keys=True) for r in parallel.values()
+    ]
+    speedup = serial_s / max(parallel_s, 1e-9)
+    benchmark.extra_info["engine_serial_s"] = round(serial_s, 3)
+    benchmark.extra_info["engine_parallel_s"] = round(parallel_s, 3)
+    benchmark.extra_info["engine_jobs"] = jobs
+    benchmark.extra_info["engine_speedup"] = round(speedup, 2)
+    emit(
+        "Experiment engine: smoke grid wall-clock",
+        f"serial {serial_s:.2f}s vs jobs={jobs} {parallel_s:.2f}s "
+        f"-> {speedup:.2f}x ({os.cpu_count()} host cores)",
+    )
+    # The pool must never be catastrophically slower than serial (its
+    # overhead is per-process startup, bounded regardless of host).
+    assert parallel_s < 5.0 * serial_s + 2.0
+
+
 def test_retcon_overhead_vs_eager(benchmark):
     """RETCON's per-access tracking hooks must not slow the simulator
     down by more than ~3x on conflict-free code."""

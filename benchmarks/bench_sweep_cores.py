@@ -9,7 +9,7 @@ RETCON and checks the curve shapes: eager flat, RETCON monotonically
 rising, with the crossover at small core counts.
 """
 
-from repro.analysis.sweeps import core_sweep, format_sweep
+from repro.analysis.sweeps import format_sweep, sweep_matrix
 
 from conftest import emit
 
@@ -20,16 +20,14 @@ def test_python_opt_scaling_curve(run_once, bench_params):
     )
 
     def sweep():
-        return {
-            system: core_sweep(
-                "python_opt",
-                system,
-                core_counts,
-                seed=bench_params["seed"],
-                scale=min(bench_params["scale"], 0.5),
-            )
-            for system in ("eager", "retcon")
-        }
+        return sweep_matrix(
+            "python_opt",
+            ("eager", "retcon"),
+            core_counts,
+            seed=bench_params["seed"],
+            scale=min(bench_params["scale"], 0.5),
+            jobs=bench_params["jobs"],
+        )
 
     curves = run_once(sweep)
     emit(

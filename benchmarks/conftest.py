@@ -8,6 +8,12 @@ prints it.  Knobs (environment variables):
   benchmark suite so a full run finishes in minutes; use 1.0 to match
   the numbers recorded in EXPERIMENTS.md).
 * ``REPRO_SEED`` — workload generation seed (default 1).
+* ``REPRO_JOBS`` — experiment-engine worker processes (default 1 so
+  pytest-benchmark timings stay comparable across machines; raise it
+  to shorten a full suite run).
+
+Results are never cached here: benchmarks measure, so every run
+simulates from scratch.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ def bench_params() -> dict:
         "ncores": _env_int("REPRO_CORES", 32),
         "scale": _env_float("REPRO_SCALE", 0.5),
         "seed": _env_int("REPRO_SEED", 1),
+        "jobs": _env_int("REPRO_JOBS", 1),
     }
 
 

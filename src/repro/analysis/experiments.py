@@ -185,9 +185,25 @@ def table3_checks(data) -> list[ShapeCheck]:
 
 
 def generate_report(
-    ncores: int = 32, seed: int = 1, scale: float = 1.0
+    ncores: int = 32,
+    seed: int = 1,
+    scale: float = 1.0,
+    jobs: int | None = 1,
+    cache=None,
+    refresh: bool = False,
+    progress=None,
 ) -> str:
-    """Run everything and render EXPERIMENTS.md's contents."""
+    """Run everything and render EXPERIMENTS.md's contents.
+
+    ``jobs``/``cache``/``refresh``/``progress`` are forwarded to the
+    experiment engine (see :mod:`repro.exp.engine`): the full run
+    matrix fans out over worker processes and memoizes per-point
+    results, so regenerating the report after analysis-only changes is
+    nearly instant.
+    """
+    engine_opts = dict(
+        jobs=jobs, cache=cache, refresh=refresh, progress=progress
+    )
     out = io.StringIO()
 
     def w(text=""):
@@ -199,7 +215,8 @@ def generate_report(
         f"Configuration: {ncores} simulated cores, workload scale "
         f"{scale}, seed {seed}.  Regenerate with "
         f"`python -m repro experiments --cores {ncores} "
-        f"--scale {scale}`."
+        f"--scale {scale} --jobs 8` (results are cached under "
+        f"`.repro-cache/`; pass `--refresh` to force re-simulation)."
     )
     w()
     w(
@@ -259,7 +276,7 @@ def generate_report(
     # One shared run matrix backs Figures 3, 4, 9, 10 and Table 3.
     matrix = figures.run_matrix(
         ALL_VARIANTS, figures.EVAL_SYSTEMS,
-        ncores=ncores, seed=seed, scale=scale,
+        ncores=ncores, seed=seed, scale=scale, **engine_opts,
     )
 
     # Figures 3/4 ---------------------------------------------------------
@@ -325,7 +342,8 @@ def generate_report(
     w()
     # bayes appears in the paper's Table 3 (but not its figures, §3).
     bayes_row = figures.table3(
-        ncores=ncores, seed=seed, scale=scale, workloads=("bayes",)
+        ncores=ncores, seed=seed, scale=scale, workloads=("bayes",),
+        **engine_opts,
     )
     data3 = {**bayes_row, **figures.table3(matrix=matrix)}
     rows = []
@@ -368,6 +386,9 @@ def _write_checks(w, checks: list[ShapeCheck]) -> None:
 def main(argv=None) -> int:
     import argparse
 
+    from repro.exp.cache import ResultCache
+    from repro.exp.engine import stderr_progress
+
     parser = argparse.ArgumentParser(
         description="Run the full evaluation and write EXPERIMENTS.md"
     )
@@ -375,9 +396,27 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: $REPRO_JOBS or all cores)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--refresh", action="store_true",
+        help="ignore cached results but store fresh ones",
+    )
     args = parser.parse_args(argv)
     report = generate_report(
-        ncores=args.cores, seed=args.seed, scale=args.scale
+        ncores=args.cores,
+        seed=args.seed,
+        scale=args.scale,
+        jobs=args.jobs,
+        cache=None if args.no_cache else ResultCache(),
+        refresh=args.refresh,
+        progress=stderr_progress,
     )
     with open(args.output, "w") as handle:
         handle.write(report)

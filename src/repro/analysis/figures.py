@@ -1,9 +1,11 @@
 """Data series for every table and figure in the paper's evaluation.
 
-Each ``figureN``/``tableN`` function runs the required simulations and
-returns plain data (dicts) that the benchmark harness prints.  Results
-within one invocation share generated workloads and sequential
-baselines via :func:`run_matrix`.
+Each ``figureN``/``tableN`` function declares the required simulation
+grid and hands it to the experiment engine (:mod:`repro.exp`), which
+shares generated workloads and sequential baselines across systems,
+optionally fans points out over worker processes (``jobs``), and
+memoizes per-point results on disk (``cache``).  The functions return
+plain data (dicts) that the benchmark harness prints.
 
 The sizes are controlled by ``scale`` (per-thread work multiplier) and
 ``ncores``; the defaults match the paper's 32-core configuration with
@@ -15,12 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro.exp import engine as exp_engine
+from repro.exp.cache import ResultCache
+from repro.exp.engine import ProgressFn
 from repro.sim.config import MachineConfig
-from repro.sim.runner import (
-    WorkloadResult,
-    generate_and_baseline,
-    run_workload,
-)
+from repro.sim.runner import WorkloadResult
 from repro.workloads.registry import (
     ALL_VARIANTS,
     FIGURE1_WORKLOADS,
@@ -38,34 +39,43 @@ def run_matrix(
     seed: int = 1,
     scale: float = 1.0,
     config: MachineConfig | None = None,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    refresh: bool = False,
+    progress: ProgressFn | None = None,
 ) -> dict[tuple[str, str], WorkloadResult]:
-    """Run every (workload, system) pair, sharing sequential baselines."""
-    results: dict[tuple[str, str], WorkloadResult] = {}
-    for name in workloads:
-        _, seq_cycles = generate_and_baseline(
-            name, ncores=ncores, seed=seed, scale=scale, config=config
-        )
-        for system in systems:
-            results[(name, system)] = run_workload(
-                name,
-                system,
-                ncores=ncores,
-                seed=seed,
-                scale=scale,
-                config=config,
-                seq_cycles=seq_cycles,
-            )
-    return results
+    """Run every (workload, system) pair via the experiment engine.
+
+    ``jobs=1`` (the default) keeps library calls serial and
+    dependency-free; pass ``jobs=None`` to use every core (or
+    ``$REPRO_JOBS``), as the CLI does.
+    """
+    return exp_engine.run_matrix(
+        workloads,
+        systems,
+        ncores=ncores,
+        seed=seed,
+        scale=scale,
+        config=config,
+        jobs=jobs,
+        cache=cache,
+        refresh=refresh,
+        progress=progress,
+    )
 
 
 # ---------------------------------------------------------------------------
 # Figure 1: scalability of the aggressive eager HTM on the 8 base workloads
 # ---------------------------------------------------------------------------
 def figure1(
-    ncores: int = 32, seed: int = 1, scale: float = 1.0
+    ncores: int = 32,
+    seed: int = 1,
+    scale: float = 1.0,
+    **engine_opts,
 ) -> dict[str, float]:
     matrix = run_matrix(
-        FIGURE1_WORKLOADS, ("eager",), ncores=ncores, seed=seed, scale=scale
+        FIGURE1_WORKLOADS, ("eager",), ncores=ncores, seed=seed,
+        scale=scale, **engine_opts,
     )
     return {
         name: matrix[(name, "eager")].speedup
@@ -145,9 +155,11 @@ def figure3(
     seed: int = 1,
     scale: float = 1.0,
     matrix: Mapping[tuple[str, str], WorkloadResult] | None = None,
+    **engine_opts,
 ) -> dict[str, float]:
     matrix = matrix or run_matrix(
-        ALL_VARIANTS, ("eager",), ncores=ncores, seed=seed, scale=scale
+        ALL_VARIANTS, ("eager",), ncores=ncores, seed=seed, scale=scale,
+        **engine_opts,
     )
     return {name: matrix[(name, "eager")].speedup for name in ALL_VARIANTS}
 
@@ -157,9 +169,11 @@ def figure4(
     seed: int = 1,
     scale: float = 1.0,
     matrix: Mapping[tuple[str, str], WorkloadResult] | None = None,
+    **engine_opts,
 ) -> dict[str, dict[str, float]]:
     matrix = matrix or run_matrix(
-        ALL_VARIANTS, ("eager",), ncores=ncores, seed=seed, scale=scale
+        ALL_VARIANTS, ("eager",), ncores=ncores, seed=seed, scale=scale,
+        **engine_opts,
     )
     return {
         name: matrix[(name, "eager")].breakdown for name in ALL_VARIANTS
@@ -175,9 +189,11 @@ def figure9(
     scale: float = 1.0,
     workloads: Sequence[str] = ALL_VARIANTS,
     matrix: Mapping[tuple[str, str], WorkloadResult] | None = None,
+    **engine_opts,
 ) -> dict[str, dict[str, float]]:
     matrix = matrix or run_matrix(
-        workloads, EVAL_SYSTEMS, ncores=ncores, seed=seed, scale=scale
+        workloads, EVAL_SYSTEMS, ncores=ncores, seed=seed, scale=scale,
+        **engine_opts,
     )
     return {
         name: {
@@ -194,10 +210,12 @@ def figure10(
     scale: float = 1.0,
     workloads: Sequence[str] = ALL_VARIANTS,
     matrix: Mapping[tuple[str, str], WorkloadResult] | None = None,
+    **engine_opts,
 ) -> dict[str, dict[str, dict[str, float]]]:
     """Breakdowns plus runtimes normalized to the eager configuration."""
     matrix = matrix or run_matrix(
-        workloads, EVAL_SYSTEMS, ncores=ncores, seed=seed, scale=scale
+        workloads, EVAL_SYSTEMS, ncores=ncores, seed=seed, scale=scale,
+        **engine_opts,
     )
     out: dict[str, dict[str, dict[str, float]]] = {}
     for name in workloads:
@@ -236,6 +254,7 @@ def table3(
     scale: float = 1.0,
     workloads: Sequence[str] = TABLE3_WORKLOADS,
     matrix: Mapping[tuple[str, str], WorkloadResult] | None = None,
+    **engine_opts,
 ) -> dict[str, dict[str, object]]:
     """RETCON structure utilization (avg and max per transaction).
 
@@ -251,7 +270,7 @@ def table3(
     else:
         matrix = run_matrix(
             workloads, ("retcon",), ncores=ncores, seed=seed,
-            scale=scale,
+            scale=scale, **engine_opts,
         )
     out = {}
     for name in workloads:

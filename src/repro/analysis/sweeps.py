@@ -4,6 +4,11 @@ The paper reports single 32-core numbers; the sweep utilities here
 produce the full scaling curve (1..N cores) for any workload and
 system, which is how Figure 9's "near-linear scaling" claim is
 visualized and how crossover points between systems are located.
+
+Sweeps are expressed as engine point grids (:mod:`repro.exp`): each
+core count generates its workload and runs its sequential baseline
+once, shared across every swept system, and independent (ncores,
+system) points can execute in parallel worker processes via ``jobs``.
 """
 
 from __future__ import annotations
@@ -11,8 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.exp.cache import ResultCache
+from repro.exp.engine import ProgressFn, run_points
+from repro.exp.spec import Point
 from repro.sim.config import MachineConfig
-from repro.sim.runner import generate_and_baseline, run_workload
 
 DEFAULT_CORE_COUNTS = (1, 2, 4, 8, 16, 32)
 
@@ -25,6 +32,55 @@ class SweepPoint:
     conflict_fraction: float
 
 
+def sweep_matrix(
+    workload: str,
+    systems: Sequence[str],
+    core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
+    seed: int = 1,
+    scale: float = 1.0,
+    config: MachineConfig | None = None,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    refresh: bool = False,
+    progress: ProgressFn | None = None,
+) -> dict[str, list[SweepPoint]]:
+    """Run *workload* on every (system, core count) pair.
+
+    The workload is regenerated per core count (its total work grows
+    with the thread count, as in STAMP's self-scaling harness), and
+    each point is normalized against its own sequential baseline —
+    generated and run once per core count, shared across systems.
+    """
+    points = [
+        Point(
+            workload=workload,
+            system=system,
+            ncores=ncores,
+            seed=seed,
+            scale=scale,
+            config=config,
+        )
+        for ncores in core_counts
+        for system in systems
+    ]
+    results = run_points(
+        points, jobs=jobs, cache=cache, refresh=refresh,
+        progress=progress,
+    )
+    curves: dict[str, list[SweepPoint]] = {s: [] for s in systems}
+    for point in points:
+        result = results[point]
+        curves[point.system].append(
+            SweepPoint(
+                ncores=point.ncores,
+                speedup=result.speedup,
+                aborts=result.aborts,
+                conflict_fraction=result.breakdown["conflict"],
+            )
+        )
+    return curves
+
+
 def core_sweep(
     workload: str,
     system: str,
@@ -32,32 +88,20 @@ def core_sweep(
     seed: int = 1,
     scale: float = 1.0,
     config: MachineConfig | None = None,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> list[SweepPoint]:
-    """Run *workload* on *system* at each core count.
-
-    The workload is regenerated per core count (its total work grows
-    with the thread count, as in STAMP's self-scaling harness), and
-    each point is normalized against its own sequential baseline.
-    """
-    points = []
-    for ncores in core_counts:
-        _, seq_cycles = generate_and_baseline(
-            workload, ncores=ncores, seed=seed, scale=scale,
-            config=config,
-        )
-        result = run_workload(
-            workload, system, ncores=ncores, seed=seed, scale=scale,
-            config=config, seq_cycles=seq_cycles,
-        )
-        points.append(
-            SweepPoint(
-                ncores=ncores,
-                speedup=result.speedup,
-                aborts=result.aborts,
-                conflict_fraction=result.breakdown["conflict"],
-            )
-        )
-    return points
+    """Run *workload* on *system* at each core count."""
+    return sweep_matrix(
+        workload,
+        (system,),
+        core_counts,
+        seed=seed,
+        scale=scale,
+        config=config,
+        jobs=jobs,
+        cache=cache,
+    )[system]
 
 
 def crossover_core_count(
@@ -68,6 +112,8 @@ def crossover_core_count(
     advantage: float = 1.25,
     seed: int = 1,
     scale: float = 1.0,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> int | None:
     """Smallest core count where *better* outruns *worse* by
     *advantage*; None if it never does.
@@ -76,13 +122,11 @@ def crossover_core_count(
     core there are no conflicts to repair, so the systems tie; the
     crossover marks where conflict frequency makes repair matter.
     """
-    better_curve = core_sweep(
-        workload, better, core_counts, seed=seed, scale=scale
+    curves = sweep_matrix(
+        workload, (better, worse), core_counts, seed=seed, scale=scale,
+        jobs=jobs, cache=cache,
     )
-    worse_curve = core_sweep(
-        workload, worse, core_counts, seed=seed, scale=scale
-    )
-    for b, w in zip(better_curve, worse_curve):
+    for b, w in zip(curves[better], curves[worse]):
         if b.speedup >= advantage * max(w.speedup, 1e-9):
             return b.ncores
     return None

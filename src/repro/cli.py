@@ -5,15 +5,23 @@ Examples::
     python -m repro list
     python -m repro run genome-sz --system retcon --cores 16
     python -m repro compare python_opt --cores 32 --scale 0.5
-    python -m repro figure 9 --scale 0.3
+    python -m repro figure 9 --scale 0.3 --jobs 4
     python -m repro table 3
-    python -m repro experiments --scale 1.0
+    python -m repro experiments --scale 1.0 --jobs 8
+    python -m repro sweep python_opt --jobs 4
+    python -m repro sweep --smoke --jobs 2
+
+Simulation commands accept ``--jobs N`` (default ``$REPRO_JOBS`` or
+all cores) to fan independent points out over worker processes, and
+memoize per-point results under ``.repro-cache/`` — use ``--no-cache``
+to bypass the cache or ``--refresh`` to re-simulate and overwrite it.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from repro.analysis import figures as fig
@@ -23,14 +31,45 @@ from repro.analysis.report import (
     format_speedup_matrix,
     format_table,
 )
-from repro.sim.runner import generate_and_baseline, run_workload
+from repro.exp import (
+    Point,
+    ResultCache,
+    run_points,
+    smoke_spec,
+    stderr_progress,
+)
 from repro.workloads.registry import ALL_VARIANTS, WORKLOADS
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: $REPRO_JOBS or all cores)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--refresh", action="store_true",
+        help="ignore cached results but store fresh ones",
+    )
+
+
+def _engine_opts(args) -> dict:
+    return dict(
+        jobs=args.jobs,
+        cache=None if args.no_cache else ResultCache(),
+        refresh=args.refresh,
+        progress=stderr_progress,
+    )
 
 
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cores", type=int, default=32)
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=1)
+    _add_engine_args(parser)
 
 
 def _cmd_list(_args) -> int:
@@ -67,30 +106,28 @@ def _print_result(result) -> None:
 
 
 def _cmd_run(args) -> int:
-    result = run_workload(
-        args.workload,
-        args.system,
+    point = Point(
+        workload=args.workload,
+        system=args.system,
         ncores=args.cores,
         seed=args.seed,
         scale=args.scale,
     )
+    result = run_points([point], **_engine_opts(args))[point]
     _print_result(result)
     return 0 if result.invariants_ok else 1
 
 
 def _cmd_compare(args) -> int:
     systems = args.systems.split(",")
-    _, seq = generate_and_baseline(
-        args.workload, ncores=args.cores, seed=args.seed,
-        scale=args.scale,
+    matrix = fig.run_matrix(
+        (args.workload,), systems, ncores=args.cores, seed=args.seed,
+        scale=args.scale, **_engine_opts(args),
     )
     rows = []
     ok = True
     for system in systems:
-        result = run_workload(
-            args.workload, system, ncores=args.cores, seed=args.seed,
-            scale=args.scale, seq_cycles=seq,
-        )
+        result = matrix[(args.workload, system)]
         ok = ok and result.invariants_ok
         rows.append(
             (
@@ -101,6 +138,7 @@ def _cmd_compare(args) -> int:
                 "ok" if result.invariants_ok else "FAILED",
             )
         )
+    seq = matrix[(args.workload, systems[0])].seq_cycles
     print(f"{args.workload} on {args.cores} cores "
           f"(seq = {seq} cycles)")
     print(
@@ -113,7 +151,10 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_figure(args) -> int:
-    params = dict(ncores=args.cores, seed=args.seed, scale=args.scale)
+    params = dict(
+        ncores=args.cores, seed=args.seed, scale=args.scale,
+        **_engine_opts(args),
+    )
     number = args.number
     if number == 1:
         print(bar_chart(fig.figure1(**params), max_value=args.cores,
@@ -168,7 +209,8 @@ def _cmd_table(args) -> int:
                            fig.table2()))
     elif number == 3:
         data = fig.table3(
-            ncores=args.cores, seed=args.seed, scale=args.scale
+            ncores=args.cores, seed=args.seed, scale=args.scale,
+            **_engine_opts(args),
         )
         rows = []
         for name, row in data.items():
@@ -195,20 +237,56 @@ def _cmd_table(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    from repro.analysis.sweeps import core_sweep, format_sweep
+    from repro.analysis.sweeps import format_sweep, sweep_matrix
 
+    if args.smoke:
+        return _run_smoke(args)
+    if args.workload is None:
+        print("sweep: a workload is required unless --smoke is given",
+              file=sys.stderr)
+        return 2
     core_counts = tuple(
         int(n) for n in args.core_counts.split(",")
     )
-    curves = {
-        system: core_sweep(
-            args.workload, system, core_counts,
-            seed=args.seed, scale=args.scale,
-        )
-        for system in args.systems.split(",")
-    }
+    curves = sweep_matrix(
+        args.workload,
+        args.systems.split(","),
+        core_counts,
+        seed=args.seed,
+        scale=args.scale,
+        **_engine_opts(args),
+    )
     print(format_sweep(args.workload, curves))
     return 0
+
+
+def _run_smoke(args) -> int:
+    """The CI smoke grid: 3 workloads x 3 systems at tiny scale."""
+    spec = smoke_spec()
+    start = time.perf_counter()
+    results = run_points(spec.points(), **_engine_opts(args))
+    elapsed = time.perf_counter() - start
+    rows = []
+    ok = True
+    for point, result in results.items():
+        ok = ok and result.invariants_ok
+        rows.append(
+            (
+                point.workload,
+                point.system,
+                f"{result.speedup:.2f}x",
+                result.aborts,
+                "ok" if result.invariants_ok else "FAILED",
+            )
+        )
+    print(f"smoke grid: {len(results)} points in {elapsed:.1f}s")
+    print(
+        format_table(
+            ["workload", "system", "speedup", "aborts", "invariants"],
+            rows,
+        )
+    )
+    return 0 if ok else 1
 
 
 def _cmd_experiments(args) -> int:
@@ -216,6 +294,12 @@ def _cmd_experiments(args) -> int:
 
     argv = ["--cores", str(args.cores), "--scale", str(args.scale),
             "--seed", str(args.seed), "-o", args.output]
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.refresh:
+        argv.append("--refresh")
     return experiments_main(argv)
 
 
@@ -263,7 +347,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser(
         "sweep", help="speedup vs core count for one workload"
     )
-    sweep.add_argument("workload", choices=sorted(WORKLOADS))
+    sweep.add_argument(
+        "workload", nargs="?", default=None, choices=sorted(WORKLOADS),
+    )
     sweep.add_argument(
         "--systems", default="eager,retcon",
         help="comma-separated system list",
@@ -274,6 +360,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--scale", type=float, default=0.5)
     sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument(
+        "--smoke", action="store_true",
+        help="run the tiny CI smoke grid instead of a core sweep",
+    )
+    _add_engine_args(sweep)
 
     return parser
 

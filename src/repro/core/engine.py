@@ -40,7 +40,7 @@ from repro.core.constraints import (
 from repro.core.predictor import ConflictPredictor
 from repro.core.symvalue import Root, SymValue
 from repro.isa.instructions import TRACKABLE_OPS, Cond, negate_cond
-from repro.mem.address import BLOCK_SIZE, block_base, block_of
+from repro.mem.address import block_base, block_of
 
 
 class CapacityAbort(Exception):

@@ -1,0 +1,38 @@
+"""The experiment engine.
+
+Three layers (see ``docs/experiment_engine.md``):
+
+* :mod:`repro.exp.spec` — declarative :class:`Point` /
+  :class:`ExperimentSpec` grids replacing ad-hoc loops.
+* :mod:`repro.exp.engine` — execution: baseline sharing across
+  systems, process-parallel runs (``jobs`` / ``$REPRO_JOBS``), and
+  streamed per-point progress.
+* :mod:`repro.exp.cache` — a content-addressed on-disk result cache
+  keyed by the point spec and ``repro.__version__``.
+"""
+
+from repro.exp.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.exp.engine import (
+    matrix_view,
+    resolve_jobs,
+    run_matrix,
+    run_points,
+    run_spec,
+    stderr_progress,
+)
+from repro.exp.spec import ExperimentSpec, Point, point_key, smoke_spec
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ExperimentSpec",
+    "Point",
+    "ResultCache",
+    "matrix_view",
+    "point_key",
+    "resolve_jobs",
+    "run_matrix",
+    "run_points",
+    "run_spec",
+    "smoke_spec",
+    "stderr_progress",
+]

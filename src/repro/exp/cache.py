@@ -1,0 +1,117 @@
+"""Content-addressed on-disk result cache.
+
+Layout (under ``.repro-cache/`` by default, or ``$REPRO_CACHE_DIR``)::
+
+    .repro-cache/
+        ab/
+            ab3f...e9.json      # one file per point, named by its key
+
+Each file stores the point's spec, the simulator version, and the
+serialized :class:`~repro.sim.runner.WorkloadResult`.  Keys come from
+:func:`repro.exp.spec.point_key`: a SHA-256 over the full point spec
+plus ``repro.__version__``, so editing any parameter — or bumping the
+package version — invalidates by construction.  Files are written
+atomically (tmp + rename); a corrupt or unreadable entry is treated as
+a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.exp.spec import Point, point_key
+from repro.sim.runner import WorkloadResult
+
+#: default cache directory (relative to the current working directory)
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: bump when the on-disk schema changes (independent of repro.__version__)
+SCHEMA = 1
+
+
+def default_cache_root() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+class ResultCache:
+    """Maps :class:`Point` -> :class:`WorkloadResult` on disk."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, point: Point, version: str | None = None) -> Path:
+        key = point_key(point, version=version)
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(
+        self, point: Point, version: str | None = None
+    ) -> Optional[WorkloadResult]:
+        """Return the stored result for *point*, or None on a miss."""
+        path = self.path_for(point, version=version)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("schema") != SCHEMA:
+                raise ValueError(f"schema {payload.get('schema')}")
+            result = WorkloadResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(
+        self,
+        point: Point,
+        result: WorkloadResult,
+        version: str | None = None,
+    ) -> Path:
+        """Store *result* for *point* atomically; return the path."""
+        if version is None:
+            from repro import __version__ as version
+        path = self.path_for(point, version=version)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": SCHEMA,
+            "key": path.stem,
+            "version": version,
+            "spec": point.spec_dict(),
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Delete every cached entry; return how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in sorted(self.root.rglob("*.json")):
+            entry.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.json"))

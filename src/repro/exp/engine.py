@@ -1,0 +1,251 @@
+"""The experiment executor: baseline sharing, process pools, caching.
+
+:func:`run_points` is the single entry point every figure, table,
+sweep, benchmark, and CLI command funnels through.  It
+
+1. resolves cached points (unless ``refresh``),
+2. groups the misses by :meth:`Point.baseline_key` so each
+   (workload, ncores, seed, scale, config) generates its workload and
+   runs its sequential baseline exactly once, shared across systems,
+3. executes the groups — serially, or on a ``multiprocessing`` pool
+   when ``jobs > 1`` — and streams per-point progress,
+4. stores fresh results in the cache and returns an ordered
+   ``{Point: WorkloadResult}`` mapping.
+
+Results are bit-identical between the serial and parallel paths: each
+group runs single-threaded inside one process either way, and the
+simulator is fully deterministic given the point spec.
+
+``jobs`` resolution: explicit argument > ``$REPRO_JOBS`` >
+``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.exp.cache import ResultCache
+from repro.exp.spec import ExperimentSpec, Point
+from repro.sim.config import MachineConfig
+from repro.sim.runner import (
+    WorkloadResult,
+    generate_and_baseline,
+    run_workload,
+)
+
+#: progress callback: (done, total, point, status, seconds)
+ProgressFn = Callable[[int, int, Point, str, float], None]
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker-count policy: argument, then $REPRO_JOBS, then all cores."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        if env:
+            jobs = int(env)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def _group_by_baseline(points: Sequence[Point]) -> list[list[Point]]:
+    """Group points sharing one generated workload + seq baseline."""
+    groups: dict[tuple, list[Point]] = {}
+    for point in points:
+        groups.setdefault(point.baseline_key(), []).append(point)
+    return list(groups.values())
+
+
+def _run_group(group: list[Point]) -> list[tuple[Point, WorkloadResult, float]]:
+    """Run one baseline-sharing group (in-process; also the pool task).
+
+    The workload is generated once and the sequential baseline run
+    once; every system in the group reuses both.
+    """
+    first = group[0]
+    config = first.resolved_config()
+    start = time.perf_counter()
+    generated, seq_cycles = generate_and_baseline(
+        first.workload,
+        ncores=first.ncores,
+        seed=first.seed,
+        scale=first.scale,
+        config=config,
+    )
+    baseline_seconds = time.perf_counter() - start
+    out = []
+    for i, point in enumerate(group):
+        start = time.perf_counter()
+        result = run_workload(
+            point.workload,
+            point.system,
+            ncores=point.ncores,
+            seed=point.seed,
+            scale=point.scale,
+            config=config,
+            seq_cycles=seq_cycles,
+            generated=generated,
+        )
+        seconds = time.perf_counter() - start
+        if i == 0:
+            seconds += baseline_seconds
+        out.append((point, result, seconds))
+    return out
+
+
+def _ensure_child_importable() -> None:
+    """Make ``repro`` importable in spawn-started worker processes.
+
+    With the default ``fork`` start method children inherit
+    ``sys.path``; under ``spawn`` they re-import from scratch, so the
+    package root (e.g. a ``src/`` checkout dir) must be on
+    ``$PYTHONPATH``.
+    """
+    package_root = str(Path(__file__).resolve().parents[2])
+    existing = os.environ.get("PYTHONPATH", "")
+    parts = existing.split(os.pathsep) if existing else []
+    if package_root not in parts:
+        os.environ["PYTHONPATH"] = os.pathsep.join([package_root] + parts)
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def run_points(
+    points: Iterable[Point],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    refresh: bool = False,
+    progress: Optional[ProgressFn] = None,
+) -> dict[Point, WorkloadResult]:
+    """Execute *points*, returning results keyed by point in input order.
+
+    ``cache=None`` disables persistence; ``refresh=True`` ignores (and
+    overwrites) existing entries.  ``progress``, if given, is invoked
+    once per point with status ``"cached"`` or ``"ran"``.
+    """
+    ordered: list[Point] = []
+    seen: set[Point] = set()
+    for point in points:
+        if point not in seen:
+            seen.add(point)
+            ordered.append(point)
+
+    total = len(ordered)
+    results: dict[Point, WorkloadResult] = {}
+    done = 0
+
+    pending: list[Point] = []
+    for point in ordered:
+        hit = None if (cache is None or refresh) else cache.get(point)
+        if hit is not None:
+            results[point] = hit
+            done += 1
+            if progress:
+                progress(done, total, point, "cached", 0.0)
+        else:
+            pending.append(point)
+
+    groups = _group_by_baseline(pending)
+    njobs = min(resolve_jobs(jobs), max(len(groups), 1))
+
+    def consume(batch: list[tuple[Point, WorkloadResult, float]]) -> None:
+        nonlocal done
+        for point, result, seconds in batch:
+            results[point] = result
+            if cache is not None:
+                cache.put(point, result)
+            done += 1
+            if progress:
+                progress(done, total, point, "ran", seconds)
+
+    if njobs <= 1 or len(groups) <= 1:
+        for group in groups:
+            consume(_run_group(group))
+    else:
+        _ensure_child_importable()
+        ctx = _pool_context()
+        with ctx.Pool(processes=njobs) as pool:
+            for batch in pool.imap_unordered(_run_group, groups, chunksize=1):
+                consume(batch)
+
+    return {point: results[point] for point in ordered}
+
+
+def run_spec(
+    spec: ExperimentSpec,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    refresh: bool = False,
+    progress: Optional[ProgressFn] = None,
+) -> dict[Point, WorkloadResult]:
+    """Execute every point of *spec* (see :func:`run_points`)."""
+    return run_points(
+        spec.points(), jobs=jobs, cache=cache, refresh=refresh,
+        progress=progress,
+    )
+
+
+def run_matrix(
+    workloads: Sequence[str],
+    systems: Sequence[str],
+    ncores: int = 32,
+    seed: int = 1,
+    scale: float = 1.0,
+    config: Optional[MachineConfig] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    refresh: bool = False,
+    progress: Optional[ProgressFn] = None,
+) -> dict[tuple[str, str], WorkloadResult]:
+    """The classic (workload, system) grid, keyed by name pairs.
+
+    Drop-in replacement for the old serial
+    ``analysis.figures.run_matrix`` loop (which now delegates here).
+    """
+    spec = ExperimentSpec(
+        name="matrix",
+        workloads=tuple(workloads),
+        systems=tuple(systems),
+        core_counts=(ncores,),
+        seeds=(seed,),
+        scale=scale,
+        config=config,
+    )
+    by_point = run_spec(
+        spec, jobs=jobs, cache=cache, refresh=refresh, progress=progress
+    )
+    return {
+        (point.workload, point.system): result
+        for point, result in by_point.items()
+    }
+
+
+def matrix_view(
+    by_point: Mapping[Point, WorkloadResult],
+) -> dict[tuple[str, str], WorkloadResult]:
+    """Re-key a point mapping by (workload, system) name pairs."""
+    return {
+        (point.workload, point.system): result
+        for point, result in by_point.items()
+    }
+
+
+def stderr_progress(done: int, total: int, point: Point, status: str,
+                    seconds: float) -> None:
+    """Default streaming progress line for CLI commands."""
+    timing = "" if status == "cached" else f" ({seconds:.1f}s)"
+    print(
+        f"[{done}/{total}] {point.label()}: {status}{timing}",
+        file=sys.stderr,
+        flush=True,
+    )

@@ -1,0 +1,158 @@
+"""Declarative experiment specifications.
+
+A :class:`Point` names one simulation — (workload, system, ncores,
+seed, scale, config) — and an :class:`ExperimentSpec` names a grid of
+them.  Every figure/table/sweep in the evaluation is a spec plus a
+formatter; the engine (:mod:`repro.exp.engine`) executes specs and the
+cache (:mod:`repro.exp.cache`) memoizes the per-point results.
+
+Points hash stably: :func:`point_key` derives a content address from
+the full parameter set plus ``repro.__version__``, so any change to a
+parameter (or to the simulator version) is a cache miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterator, Optional
+
+from repro.sim.config import MachineConfig
+
+
+@dataclass(frozen=True)
+class Point:
+    """One (workload, system, ncores, seed, scale, config) simulation."""
+
+    workload: str
+    system: str
+    ncores: int = 32
+    seed: int = 1
+    scale: float = 1.0
+    config: Optional[MachineConfig] = None
+
+    def resolved_config(self) -> MachineConfig:
+        """The machine configuration this point actually runs with."""
+        return (self.config or MachineConfig()).with_cores(self.ncores)
+
+    def baseline_key(self) -> tuple:
+        """Points with equal keys share one generated workload and one
+        sequential baseline (everything except the TM system)."""
+        return (
+            self.workload,
+            self.ncores,
+            self.seed,
+            self.scale,
+            self.resolved_config(),
+        )
+
+    def spec_dict(self) -> dict:
+        """JSON-safe description of the point (for hashing/storage)."""
+        return {
+            "workload": self.workload,
+            "system": self.system,
+            "ncores": self.ncores,
+            "seed": self.seed,
+            "scale": self.scale,
+            "config": asdict(self.resolved_config()),
+        }
+
+    def label(self) -> str:
+        extras = ""
+        if self.config is not None:
+            extras = f" config={point_key(self, version='')[:8]}"
+        return (
+            f"{self.workload}/{self.system} ncores={self.ncores} "
+            f"seed={self.seed} scale={self.scale}{extras}"
+        )
+
+
+def point_key(point: Point, version: str | None = None) -> str:
+    """Stable content address for *point* under simulator *version*.
+
+    Any change to a key field (workload, system, ncores, seed, scale,
+    any config parameter) or to ``repro.__version__`` changes the key,
+    which is how cache invalidation works — there is no mtime logic.
+    """
+    if version is None:
+        from repro import __version__ as version
+    payload = {"spec": point.spec_dict(), "version": version}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative grid of points plus a human-readable name.
+
+    The cross product ``workloads x systems x core_counts x seeds`` at
+    one scale/config.  Irregular grids (per-point configs, mixed
+    scales) are expressed by concatenating ``points()`` lists from
+    several specs or by constructing :class:`Point` lists directly —
+    the engine only ever consumes flat point sequences.
+    """
+
+    name: str
+    workloads: tuple[str, ...]
+    systems: tuple[str, ...]
+    core_counts: tuple[int, ...] = (32,)
+    seeds: tuple[int, ...] = (1,)
+    scale: float = 1.0
+    config: Optional[MachineConfig] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        # Tolerate lists/generators from callers; store tuples so the
+        # spec stays hashable.
+        for name in ("workloads", "systems", "core_counts", "seeds"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+
+    def points(self) -> list[Point]:
+        """Expand the grid in deterministic (row-major) order."""
+        return [
+            Point(
+                workload=workload,
+                system=system,
+                ncores=ncores,
+                seed=seed,
+                scale=self.scale,
+                config=self.config,
+            )
+            for workload in self.workloads
+            for ncores in self.core_counts
+            for seed in self.seeds
+            for system in self.systems
+        ]
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self.points())
+
+    def __len__(self) -> int:
+        return (
+            len(self.workloads)
+            * len(self.systems)
+            * len(self.core_counts)
+            * len(self.seeds)
+        )
+
+
+def smoke_spec(
+    scale: float = 0.1, ncores: int = 4, seed: int = 1
+) -> ExperimentSpec:
+    """The tiny grid used by ``python -m repro sweep --smoke`` and CI.
+
+    Three representative workloads (a repairable one, an unrepairable
+    one, and a phase-barrier one) across the three headline systems.
+    """
+    return ExperimentSpec(
+        name="smoke",
+        description="CI smoke grid: 3 workloads x 3 systems",
+        workloads=("python_opt", "genome-sz", "kmeans"),
+        systems=("eager", "lazy-vb", "retcon"),
+        core_counts=(ncores,),
+        seeds=(seed,),
+        scale=scale,
+    )

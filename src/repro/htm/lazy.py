@@ -22,7 +22,7 @@ from repro.htm.system import (
     LoadResult,
     StoreResult,
 )
-from repro.mem.address import block_of, blocks_spanned
+from repro.mem.address import blocks_spanned
 
 
 class LazyTMSystem(BaseTMSystem):

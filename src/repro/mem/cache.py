@@ -14,7 +14,7 @@ Caches here track tags and metadata only; data lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 

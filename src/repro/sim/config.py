@@ -17,7 +17,7 @@ RETCON structures            16-entry initial (original) value buffer,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)

@@ -24,6 +24,12 @@ from repro.sim.stats import MachineStats
 class SimulationTimeout(RuntimeError):
     """The run exceeded the cycle watchdog (livelock guard)."""
 
+    def __init__(self, message: str, label: str | None = None) -> None:
+        if label:
+            message = f"{message} [{label}]"
+        super().__init__(message)
+        self.label = label
+
 
 @dataclass
 class RunResult:
@@ -52,12 +58,15 @@ class Machine:
         system_name: str,
         scripts: list[ThreadScript],
         memory: MainMemory,
+        label: str | None = None,
     ) -> None:
         if len(scripts) > config.ncores:
             raise ValueError(
                 f"{len(scripts)} scripts but only {config.ncores} cores"
             )
         self.config = config
+        #: free-form context (workload/system/...) echoed in timeouts
+        self.label = label or system_name
         self.memory = memory
         self.stats = MachineStats(config.ncores)
         self.fabric = CoherenceFabric(config, config.ncores)
@@ -85,17 +94,26 @@ class Machine:
                 heapq.heappush(heap, (core.cycle, core.cid))
 
         barrier_waiters: list[Core] = []
+        # Track the global makespan incrementally: a core that retires
+        # with a huge cycle count (or one spinning while the rest sit
+        # at the barrier) must trip the watchdog even though it never
+        # re-enters the heap.
+        makespan = 0
         while heap or barrier_waiters:
+            if makespan > max_cycles:
+                raise SimulationTimeout(
+                    f"makespan {makespan} exceeded the "
+                    f"{max_cycles}-cycle watchdog",
+                    label=self.label,
+                )
             if not heap:
                 self._release_barrier(barrier_waiters, heap)
                 continue
             cycle, cid = heapq.heappop(heap)
             core = self.cores[cid]
-            if cycle > max_cycles:
-                raise SimulationTimeout(
-                    f"core {cid} exceeded {max_cycles} cycles"
-                )
             core.step()
+            if core.cycle > makespan:
+                makespan = core.cycle
             if core.state is CoreState.AT_BARRIER:
                 barrier_waiters.append(core)
                 if len(barrier_waiters) + self._done_count() == len(
@@ -105,9 +123,9 @@ class Machine:
             elif core.state is not CoreState.DONE:
                 heapq.heappush(heap, (core.cycle, core.cid))
 
-        makespan = max(core.cycle for core in self.cores)
+        final_makespan = max(core.cycle for core in self.cores)
         return RunResult(
-            cycles=makespan,
+            cycles=final_makespan,
             stats=self.stats,
             memory=self.memory,
             system_name=self.system.name,
@@ -121,7 +139,10 @@ class Machine:
     ) -> None:
         """All live cores reached the barrier: release them together."""
         if not waiters:
-            raise SimulationTimeout("scheduler empty with no barrier waiters")
+            raise SimulationTimeout(
+                "scheduler empty with no barrier waiters",
+                label=self.label,
+            )
         release = max(core.cycle for core in waiters)
         for core in waiters:
             core.stats.barrier += release - core.cycle

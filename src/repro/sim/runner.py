@@ -48,6 +48,55 @@ class WorkloadResult:
     def failed_invariants(self) -> list[InvariantResult]:
         return [inv for inv in self.invariants if not inv.ok]
 
+    # -- JSON round-trip (used by the result cache) --------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON representation; :meth:`from_dict` inverts it."""
+        return {
+            "workload": self.workload,
+            "system": self.system,
+            "ncores": self.ncores,
+            "cycles": self.cycles,
+            "seq_cycles": self.seq_cycles,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "aborts_by_reason": dict(self.aborts_by_reason),
+            "breakdown": dict(self.breakdown),
+            "table3": {k: list(v) for k, v in self.table3.items()},
+            "commit_stall_percent": self.commit_stall_percent,
+            "invariants": [
+                {"name": inv.name, "ok": inv.ok, "detail": inv.detail}
+                for inv in self.invariants
+            ],
+            "by_label": {k: list(v) for k, v in self.by_label.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadResult":
+        return cls(
+            workload=data["workload"],
+            system=data["system"],
+            ncores=data["ncores"],
+            cycles=data["cycles"],
+            seq_cycles=data["seq_cycles"],
+            commits=data["commits"],
+            aborts=data["aborts"],
+            aborts_by_reason=dict(data["aborts_by_reason"]),
+            breakdown=dict(data["breakdown"]),
+            table3={
+                k: tuple(v) for k, v in data["table3"].items()
+            },
+            commit_stall_percent=data["commit_stall_percent"],
+            invariants=[
+                InvariantResult(
+                    name=inv["name"], ok=inv["ok"], detail=inv["detail"]
+                )
+                for inv in data["invariants"]
+            ],
+            by_label={
+                k: tuple(v) for k, v in data["by_label"].items()
+            },
+        )
+
 
 def run_sequential(
     generated: GeneratedWorkload,
@@ -72,18 +121,28 @@ def run_workload(
     config: Optional[MachineConfig] = None,
     seq_cycles: Optional[int] = None,
     check: bool = True,
+    generated: Optional[GeneratedWorkload] = None,
 ) -> WorkloadResult:
     """Simulate *name* on *system* and compare against sequential.
 
     Pass ``seq_cycles`` (from a prior :func:`run_sequential`) to avoid
-    re-running the baseline when sweeping systems.
+    re-running the baseline when sweeping systems, and ``generated``
+    (from :func:`generate_and_baseline`) to reuse the generated
+    workload instead of regenerating it per system.
     """
     config = (config or MachineConfig()).with_cores(ncores)
-    workload = get_workload(name)
-    generated = workload.generate(ncores, seed=seed, scale=scale)
+    if generated is None:
+        generated = get_workload(name).generate(
+            ncores, seed=seed, scale=scale
+        )
 
     machine = Machine(
-        config, system, generated.scripts, generated.memory.clone()
+        config,
+        system,
+        generated.scripts,
+        generated.memory.clone(),
+        label=f"{name}/{system} ncores={ncores} seed={seed} "
+              f"scale={scale}",
     )
     parallel = machine.run()
 

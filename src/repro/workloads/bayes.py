@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from repro.isa.program import Assembler
 from repro.isa.registers import R1, R2
-from repro.mem.address import BLOCK_SIZE
 from repro.mem.allocator import BumpAllocator
 from repro.mem.memory import MainMemory
 from repro.sim.script import ThreadScript

@@ -1,0 +1,163 @@
+"""The executor: determinism, baseline sharing, caching, parallelism."""
+
+import json
+
+import pytest
+
+from repro.exp.cache import ResultCache
+from repro.exp.engine import (
+    resolve_jobs,
+    run_matrix,
+    run_points,
+    run_spec,
+)
+from repro.exp.spec import ExperimentSpec, Point
+from repro.sim.runner import run_workload
+
+#: 3 workloads x 3 systems at small scale (the determinism grid the
+#: engine must reproduce bit-for-bit regardless of worker count).
+GRID = ExperimentSpec(
+    name="determinism",
+    workloads=("python_opt", "genome-sz", "kmeans"),
+    systems=("eager", "lazy-vb", "retcon"),
+    core_counts=(2,),
+    seeds=(1,),
+    scale=0.05,
+)
+
+
+def serialized(results) -> list[str]:
+    return [
+        json.dumps(r.to_dict(), sort_keys=True) for r in results.values()
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    return run_spec(GRID, jobs=1)
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_byte_for_byte(self, serial_results):
+        parallel = run_spec(GRID, jobs=4)
+        assert list(parallel) == list(serial_results)
+        assert serialized(parallel) == serialized(serial_results)
+
+    def test_engine_matches_direct_runner(self, serial_results):
+        """Sharing generated workloads/baselines across systems must
+        not change any result vs. a standalone run_workload call."""
+        point = Point("genome-sz", "retcon", ncores=2, scale=0.05)
+        direct = run_workload(
+            point.workload, point.system, ncores=point.ncores,
+            seed=point.seed, scale=point.scale,
+        )
+        assert (
+            serial_results[point].to_dict() == direct.to_dict()
+        )
+
+    def test_order_follows_input_not_completion(self):
+        points = list(reversed(GRID.points()))[:4]
+        results = run_points(points, jobs=2)
+        assert list(results) == points
+
+
+class TestBaselineSharing:
+    def test_one_baseline_per_workload(self, serial_results):
+        for workload in GRID.workloads:
+            seqs = {
+                serial_results[point].seq_cycles
+                for point in GRID.points()
+                if point.workload == workload
+            }
+            assert len(seqs) == 1
+
+    def test_duplicates_deduped(self):
+        point = Point("kmeans", "eager", ncores=2, scale=0.05)
+        ran = []
+        results = run_points(
+            [point, point, point],
+            jobs=1,
+            progress=lambda *a: ran.append(a[3]),
+        )
+        assert len(results) == 1
+        assert ran == ["ran"]
+
+
+class TestCacheIntegration:
+    def test_second_run_is_all_hits(self, tmp_path, serial_results):
+        cache = ResultCache(tmp_path)
+        statuses = []
+        first = run_spec(
+            GRID, jobs=1, cache=cache,
+            progress=lambda d, t, p, status, s: statuses.append(status),
+        )
+        assert statuses == ["ran"] * len(GRID)
+        statuses.clear()
+        second = run_spec(
+            GRID, jobs=1, cache=cache,
+            progress=lambda d, t, p, status, s: statuses.append(status),
+        )
+        assert statuses == ["cached"] * len(GRID)
+        assert serialized(first) == serialized(second)
+        assert serialized(second) == serialized(serial_results)
+
+    def test_parallel_run_populates_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_spec(GRID, jobs=4, cache=cache)
+        assert len(cache) == len(GRID)
+        statuses = []
+        run_spec(
+            GRID, jobs=4, cache=cache,
+            progress=lambda d, t, p, status, s: statuses.append(status),
+        )
+        assert statuses == ["cached"] * len(GRID)
+
+    def test_refresh_ignores_but_rewrites_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = Point("kmeans", "eager", ncores=2, scale=0.05)
+        run_points([point], jobs=1, cache=cache)
+        statuses = []
+        run_points(
+            [point], jobs=1, cache=cache, refresh=True,
+            progress=lambda d, t, p, status, s: statuses.append(status),
+        )
+        assert statuses == ["ran"]
+        assert len(cache) == 1
+
+    def test_progress_counts_reach_total(self, tmp_path):
+        seen = []
+        run_spec(
+            GRID, jobs=1,
+            progress=lambda d, t, p, status, s: seen.append((d, t)),
+        )
+        assert seen[-1] == (len(GRID), len(GRID))
+        assert [d for d, _ in seen] == list(range(1, len(GRID) + 1))
+
+
+class TestRunMatrix:
+    def test_matrix_keys_and_sharing(self):
+        matrix = run_matrix(
+            ("kmeans",), ("eager", "retcon"), ncores=2, scale=0.05
+        )
+        assert set(matrix) == {
+            ("kmeans", "eager"), ("kmeans", "retcon")
+        }
+        assert (
+            matrix[("kmeans", "eager")].seq_cycles
+            == matrix[("kmeans", "retcon")].seq_cycles
+        )
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(None) == 7
+
+    def test_floor_of_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(None) >= 1

@@ -1,0 +1,95 @@
+"""Declarative specs: grid expansion and stable point hashing."""
+
+from dataclasses import replace
+
+from repro.exp.spec import ExperimentSpec, Point, point_key, smoke_spec
+from repro.sim.config import MachineConfig
+
+
+class TestExperimentSpec:
+    def test_grid_expansion(self):
+        spec = ExperimentSpec(
+            name="grid",
+            workloads=("a", "b"),
+            systems=("x", "y", "z"),
+            core_counts=(2, 4),
+            seeds=(1, 2),
+            scale=0.5,
+        )
+        points = spec.points()
+        assert len(points) == len(spec) == 2 * 3 * 2 * 2
+        assert len(set(points)) == len(points)
+        # Row-major and deterministic: same spec, same order.
+        assert points == spec.points()
+        assert points[0] == Point("a", "x", ncores=2, seed=1, scale=0.5)
+
+    def test_sequences_normalized_to_tuples(self):
+        spec = ExperimentSpec(
+            name="lists",
+            workloads=["a"],
+            systems=["x"],
+            core_counts=[2],
+            seeds=[1],
+        )
+        assert spec.workloads == ("a",)
+        assert hash(spec) is not None
+
+    def test_baseline_key_shared_across_systems_only(self):
+        base = Point("kmeans", "eager", ncores=4, seed=2, scale=0.5)
+        assert base.baseline_key() == replace(
+            base, system="retcon"
+        ).baseline_key()
+        for change in (
+            {"workload": "genome"},
+            {"ncores": 8},
+            {"seed": 3},
+            {"scale": 0.25},
+            {"config": MachineConfig(dram_cycles=50)},
+        ):
+            assert base.baseline_key() != replace(
+                base, **change
+            ).baseline_key(), change
+
+    def test_smoke_spec_is_small(self):
+        spec = smoke_spec()
+        assert 0 < len(spec) <= 12
+        assert all(p.scale <= 0.2 for p in spec)
+
+
+class TestPointKey:
+    def test_stable_across_processes(self):
+        # Keys must derive only from content (no id()/hash seeds).
+        point = Point("kmeans", "eager", ncores=2)
+        assert point_key(point, version="1.0.0") == point_key(
+            Point("kmeans", "eager", ncores=2), version="1.0.0"
+        )
+
+    def test_every_field_is_key_material(self):
+        base = Point("kmeans", "eager", ncores=4, seed=1, scale=0.5)
+        variants = [
+            replace(base, workload="genome"),
+            replace(base, system="retcon"),
+            replace(base, ncores=8),
+            replace(base, seed=2),
+            replace(base, scale=0.25),
+            replace(base, config=MachineConfig(hop_cycles=10)),
+        ]
+        keys = {point_key(v, version="1.0.0") for v in variants}
+        assert point_key(base, version="1.0.0") not in keys
+        assert len(keys) == len(variants)
+
+    def test_version_is_key_material(self):
+        point = Point("kmeans", "eager")
+        assert point_key(point, version="1.0.0") != point_key(
+            point, version="1.0.1"
+        )
+
+    def test_default_config_equals_explicit_default(self):
+        # config=None means "defaults at this core count": both spell
+        # the same simulation, so they must share one cache entry.
+        implicit = Point("kmeans", "eager", ncores=4)
+        explicit = Point(
+            "kmeans", "eager", ncores=4,
+            config=MachineConfig().with_cores(4),
+        )
+        assert point_key(implicit) == point_key(explicit)

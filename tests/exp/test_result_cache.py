@@ -1,0 +1,88 @@
+"""The content-addressed result cache: hits, misses, invalidation."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.exp.cache import ResultCache
+from repro.exp.spec import Point
+from repro.sim.config import MachineConfig
+from repro.sim.runner import run_workload
+
+POINT = Point("kmeans", "eager", ncores=2, seed=1, scale=0.1)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_workload(
+        POINT.workload, POINT.system, ncores=POINT.ncores,
+        seed=POINT.seed, scale=POINT.scale,
+    )
+
+
+class TestRoundTrip:
+    def test_hit_returns_equal_result(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        assert cache.get(POINT) is None
+        cache.put(POINT, result)
+        loaded = cache.get(POINT)
+        assert loaded is not None
+        assert loaded.to_dict() == result.to_dict()
+        # Derived values survive the round trip.
+        assert loaded.speedup == result.speedup
+        assert loaded.invariants_ok == result.invariants_ok
+        assert loaded.table3 == result.table3
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_len_and_clear(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        cache.put(POINT, result)
+        cache.put(replace(POINT, seed=2), result)
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.get(POINT) is None
+
+
+class TestInvalidation:
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"workload": "genome"},
+            {"system": "retcon"},
+            {"ncores": 4},
+            {"seed": 2},
+            {"scale": 0.2},
+            {"config": MachineConfig(dram_cycles=50)},
+        ],
+        ids=lambda c: next(iter(c)),
+    )
+    def test_any_key_field_change_misses(self, tmp_path, result, change):
+        cache = ResultCache(tmp_path)
+        cache.put(POINT, result)
+        assert cache.get(replace(POINT, **change)) is None
+
+    def test_version_change_misses(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        cache.put(POINT, result, version="1.0.0")
+        assert cache.get(POINT, version="1.0.0") is not None
+        assert cache.get(POINT, version="2.0.0") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        path = cache.put(POINT, result)
+        path.write_text("{not json")
+        assert cache.get(POINT) is None
+
+    def test_schema_bump_is_a_miss(self, tmp_path, result, monkeypatch):
+        cache = ResultCache(tmp_path)
+        cache.put(POINT, result)
+        monkeypatch.setattr("repro.exp.cache.SCHEMA", 2)
+        assert cache.get(POINT) is None
+
+
+class TestDefaultRoot:
+    def test_env_var_overrides_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        cache = ResultCache()
+        assert cache.root == tmp_path / "alt"

@@ -1,7 +1,5 @@
 """Plain lazy TM (commit-time detection, committer wins)."""
 
-import pytest
-
 from repro.coherence.directory import CoherenceFabric
 from repro.htm.lazy import LazyTMSystem
 from repro.mem.memory import MainMemory

@@ -2,7 +2,7 @@
 
 from repro.isa.instructions import Cond
 from repro.isa.program import Assembler
-from repro.isa.registers import R1, R2, R3, R4
+from repro.isa.registers import R1, R2, R3
 from repro.mem.memory import MainMemory
 from repro.sim.config import MachineConfig
 from repro.sim.machine import Machine

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.isa.program import Assembler
-from repro.isa.registers import R1
 from repro.mem.memory import MainMemory
 from repro.sim.config import MachineConfig
 from repro.sim.machine import Machine, SimulationTimeout
@@ -37,6 +36,42 @@ class TestScheduler:
         )
         with pytest.raises(SimulationTimeout):
             machine.run(max_cycles=100)
+
+    def test_timeout_message_carries_label_context(self):
+        script = ThreadScript()
+        asm = Assembler().nop(10_000)
+        script.add_txn(asm.build())
+        machine = Machine(
+            MachineConfig().with_cores(1),
+            "eager",
+            [script],
+            MainMemory(),
+            label="genome-sz/eager ncores=1 seed=7",
+        )
+        with pytest.raises(SimulationTimeout) as excinfo:
+            machine.run(max_cycles=100)
+        assert "genome-sz/eager ncores=1 seed=7" in str(excinfo.value)
+        assert "makespan" in str(excinfo.value)
+
+    def test_watchdog_uses_global_makespan(self):
+        """A core that blows the budget and then parks at the barrier
+        must trip the watchdog even while the remaining runnable core
+        only ever advances in small steps."""
+        heavy = ThreadScript()
+        heavy.add_work(10_000)
+        heavy.add_barrier()
+        light = ThreadScript()
+        for _ in range(500):
+            light.add_work(1)
+        light.add_barrier()
+        machine = Machine(
+            MachineConfig().with_cores(2),
+            "eager",
+            [heavy, light],
+            MainMemory(),
+        )
+        with pytest.raises(SimulationTimeout):
+            machine.run(max_cycles=5_000)
 
     def test_empty_scripts_finish_immediately(self):
         machine = Machine(

@@ -51,6 +51,47 @@ class TestRunner:
         assert seq_cycles > 0
         assert len(generated.scripts) == 2
 
+    def test_precomputed_generation_reused(self):
+        """run_workload(generated=...) must skip regeneration and
+        produce exactly the result of the regenerating path."""
+        generated, seq_cycles = generate_and_baseline(
+            "genome", ncores=2, scale=0.1, seed=9
+        )
+        reused = run_workload(
+            "genome", "retcon", ncores=2, scale=0.1, seed=9,
+            seq_cycles=seq_cycles, generated=generated,
+        )
+        regenerated = run_workload(
+            "genome", "retcon", ncores=2, scale=0.1, seed=9,
+            seq_cycles=seq_cycles,
+        )
+        assert reused.to_dict() == regenerated.to_dict()
+
+    def test_generated_workload_survives_reuse(self):
+        """Back-to-back runs from one GeneratedWorkload are identical
+        (scripts and initial memory are not mutated by a run)."""
+        generated, seq_cycles = generate_and_baseline(
+            "kmeans", ncores=2, scale=0.1
+        )
+        first = run_workload(
+            "kmeans", "eager", ncores=2, scale=0.1,
+            seq_cycles=seq_cycles, generated=generated,
+        )
+        second = run_workload(
+            "kmeans", "eager", ncores=2, scale=0.1,
+            seq_cycles=seq_cycles, generated=generated,
+        )
+        assert first.to_dict() == second.to_dict()
+
+    def test_result_json_round_trip(self):
+        from repro.sim.runner import WorkloadResult
+
+        result = run_workload("kmeans", "eager", ncores=2, scale=0.1)
+        clone = WorkloadResult.from_dict(result.to_dict())
+        assert clone.to_dict() == result.to_dict()
+        assert clone.speedup == result.speedup
+        assert clone.invariants_ok == result.invariants_ok
+
     def test_same_seed_same_cycles(self):
         first = run_workload("genome", "retcon", ncores=2, scale=0.1,
                              seed=9)

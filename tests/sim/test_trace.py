@@ -4,8 +4,6 @@ from repro.sim.config import MachineConfig
 from repro.sim.trace import Tracer
 from tests.conftest import counter_increment_txn, run_counter_machine
 
-from repro.isa.program import Assembler
-from repro.isa.registers import R1
 from repro.mem.memory import MainMemory
 from repro.sim.machine import Machine
 from repro.sim.script import ThreadScript
