@@ -26,6 +26,8 @@ The package is organized as:
 * :mod:`repro.workloads` — models of the paper's workloads (Table 2).
 * :mod:`repro.analysis` — regeneration of every figure and table in
   the paper's evaluation.
+* :mod:`repro.check` — the correctness oracle: replay-based repair
+  validation, golden-run differencing, and fault injection.
 """
 
 from repro.sim.config import MachineConfig
@@ -36,7 +38,7 @@ from repro.workloads.registry import WORKLOADS, get_workload
 SYSTEMS = ("eager", "eager-stall", "lazy", "lazy-vb", "datm", "retcon")
 """Names of the transactional-memory system variants that can be simulated."""
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MachineConfig",

@@ -30,6 +30,8 @@ class SweepPoint:
     speedup: float
     aborts: int
     conflict_fraction: float
+    #: oracle + golden + invariant verdict (True when checking was off)
+    check_ok: bool = True
 
 
 def sweep_matrix(
@@ -43,6 +45,7 @@ def sweep_matrix(
     cache: ResultCache | None = None,
     refresh: bool = False,
     progress: ProgressFn | None = None,
+    check: bool = False,
 ) -> dict[str, list[SweepPoint]]:
     """Run *workload* on every (system, core count) pair.
 
@@ -59,6 +62,7 @@ def sweep_matrix(
             seed=seed,
             scale=scale,
             config=config,
+            check=check,
         )
         for ncores in core_counts
         for system in systems
@@ -76,6 +80,7 @@ def sweep_matrix(
                 speedup=result.speedup,
                 aborts=result.aborts,
                 conflict_fraction=result.breakdown["conflict"],
+                check_ok=result.check_ok,
             )
         )
     return curves

@@ -1,0 +1,176 @@
+"""Golden-run differencing: sequential execution as a state oracle.
+
+The second pillar of the correctness subsystem (after the replay
+oracle): run the exact same generated workload *sequentially* — one
+core, every thread's transactions back to back, which trivially cannot
+lose updates or commit unserializably — then diff the parallel run's
+final state against it.
+
+Two comparison levels:
+
+* **invariants** — every workload-level invariant (hashtable sizes,
+  refcounts, queue totals, conservation sums; see
+  :class:`repro.workloads.base.GeneratedWorkload`) is evaluated on
+  both final memories.  The golden run must pass all of them, the
+  parallel run must pass all of them, and the two outcomes must agree
+  per invariant.  This is the default pass/fail signal: it is valid
+  for every workload, including those whose final memory bytes depend
+  on the (legitimate) serialization order.
+* **memory** — a byte-level diff of the two final memories, reported
+  as differing block/byte counts and a bounded sample of differing
+  addresses.  For order-sensitive workloads this is informational; for
+  workloads whose transactions commute (``strict_memory=True``) any
+  difference is a failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mem.address import BLOCK_SIZE, block_base
+from repro.mem.memory import MainMemory
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.script import concatenate
+from repro.workloads.base import GeneratedWorkload
+
+
+@dataclass
+class GoldenDiff:
+    """Outcome of diffing a parallel run against the golden run."""
+
+    blocks_compared: int = 0
+    blocks_differing: int = 0
+    bytes_differing: int = 0
+    #: bounded sample of differing byte addresses
+    sample_addrs: list[int] = field(default_factory=list)
+    #: invariants the golden (sequential) run failed — a workload bug
+    golden_failures: list[str] = field(default_factory=list)
+    #: invariants the parallel run failed — a TM-system bug
+    parallel_failures: list[str] = field(default_factory=list)
+    strict_memory: bool = False
+
+    @property
+    def memory_identical(self) -> bool:
+        return self.bytes_differing == 0
+
+    @property
+    def ok(self) -> bool:
+        if self.golden_failures or self.parallel_failures:
+            return False
+        if self.strict_memory and not self.memory_identical:
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "blocks_compared": self.blocks_compared,
+            "blocks_differing": self.blocks_differing,
+            "bytes_differing": self.bytes_differing,
+            "sample_addrs": list(self.sample_addrs),
+            "golden_failures": list(self.golden_failures),
+            "parallel_failures": list(self.parallel_failures),
+            "strict_memory": self.strict_memory,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GoldenDiff":
+        return cls(
+            blocks_compared=data["blocks_compared"],
+            blocks_differing=data["blocks_differing"],
+            bytes_differing=data["bytes_differing"],
+            sample_addrs=list(data.get("sample_addrs", ())),
+            golden_failures=list(data["golden_failures"]),
+            parallel_failures=list(data["parallel_failures"]),
+            strict_memory=data.get("strict_memory", False),
+        )
+
+
+def run_golden(
+    generated: GeneratedWorkload,
+    config: Optional[MachineConfig] = None,
+) -> MainMemory:
+    """Execute the workload's total work on one core; return its
+    final memory (the golden image)."""
+    config = (config or MachineConfig()).with_cores(1)
+    machine = Machine(
+        config,
+        "eager",
+        [concatenate(generated.scripts)],
+        generated.memory.clone(),
+        label="golden",
+    )
+    machine.run()
+    return machine.memory
+
+
+def diff_memories(
+    golden: MainMemory,
+    parallel: MainMemory,
+    max_samples: int = 16,
+) -> tuple[int, int, int, list[int]]:
+    """Byte-diff two memories over the union of their touched blocks.
+
+    Returns ``(blocks_compared, blocks_differing, bytes_differing,
+    sample_addrs)``.
+    """
+    blocks = sorted(
+        set(golden.touched_blocks()) | set(parallel.touched_blocks())
+    )
+    blocks_differing = 0
+    bytes_differing = 0
+    samples: list[int] = []
+    for block in blocks:
+        a = golden.read_block(block)
+        b = parallel.read_block(block)
+        if a == b:
+            continue
+        blocks_differing += 1
+        base = block_base(block)
+        for offset in range(BLOCK_SIZE):
+            if a[offset] != b[offset]:
+                bytes_differing += 1
+                if len(samples) < max_samples:
+                    samples.append(base + offset)
+    return len(blocks), blocks_differing, bytes_differing, samples
+
+
+def golden_diff(
+    generated: GeneratedWorkload,
+    parallel_memory: MainMemory,
+    config: Optional[MachineConfig] = None,
+    golden_memory: Optional[MainMemory] = None,
+    strict_memory: bool = False,
+) -> GoldenDiff:
+    """Diff *parallel_memory* against the workload's golden run.
+
+    Pass ``golden_memory`` (from a prior :func:`run_golden`) to avoid
+    re-running the sequential execution.
+    """
+    if golden_memory is None:
+        golden_memory = run_golden(generated, config)
+
+    compared, blocks_diff, bytes_diff, samples = diff_memories(
+        golden_memory, parallel_memory
+    )
+    golden_failures = [
+        inv.name
+        for inv in generated.check_invariants(golden_memory)
+        if not inv.ok
+    ]
+    parallel_failures = [
+        inv.name
+        for inv in generated.check_invariants(parallel_memory)
+        if not inv.ok
+    ]
+    return GoldenDiff(
+        blocks_compared=compared,
+        blocks_differing=blocks_diff,
+        bytes_differing=bytes_diff,
+        sample_addrs=samples,
+        golden_failures=golden_failures,
+        parallel_failures=parallel_failures,
+        strict_memory=strict_memory,
+    )

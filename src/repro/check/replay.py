@@ -1,0 +1,172 @@
+"""A concrete reference interpreter for transaction replay.
+
+The repair oracle validates RETCON's central claim — commit-time
+symbolic repair is equivalent to instruction replay (paper §1) — by
+actually performing the replay the hardware avoids: re-executing a
+committing transaction's program against the values the locations hold
+*at commit time* and comparing the outcome with the repaired state.
+
+The interpreter here is deliberately independent of the simulator's
+core (:mod:`repro.sim.cpu`): it shares only the pure instruction
+semantics (:func:`repro.isa.instructions.apply_op`,
+:func:`~repro.isa.instructions.evaluate_cond`), so a bug in the core's
+transactional plumbing cannot hide in the oracle too.  It performs no
+symbolic tracking, no coherence, no buffering — just architectural
+semantics over a byte-level read function plus a private write overlay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.isa.instructions import (
+    Bcc,
+    Branch,
+    Cmp,
+    Halt,
+    Imm,
+    Jump,
+    Load,
+    Mov,
+    Movi,
+    Nop,
+    Op,
+    Reg,
+    Store,
+    apply_op,
+    evaluate_cond,
+)
+from repro.isa.program import Program
+
+#: reads *size* raw bytes at *addr* from the underlying memory image
+ReadFn = Callable[[int, int], bytes]
+
+
+class ReplayLimitExceeded(RuntimeError):
+    """The replay ran longer than its instruction budget.
+
+    Reaching the budget means replayed control flow diverged badly
+    enough to loop (the original execution terminated, or it would
+    never have committed) — the caller reports it as a violation
+    rather than spinning forever.
+    """
+
+
+@dataclass
+class ReplayResult:
+    """The architectural outcome of one replayed transaction."""
+
+    #: final value of every architectural register
+    regs: list[int]
+    #: byte address -> byte value for every byte the replay stored
+    overlay: dict[int, int] = field(default_factory=dict)
+    #: instruction indices in execution order
+    pc_trace: list[int] = field(default_factory=list)
+    #: instructions executed (== len(pc_trace))
+    steps: int = 0
+
+    def read_overlay(self, addr: int, size: int) -> Optional[int]:
+        """The replayed stores' value for [addr, addr+size), if fully
+        covered by the overlay (little-endian, signed)."""
+        raw = bytearray()
+        for a in range(addr, addr + size):
+            byte = self.overlay.get(a)
+            if byte is None:
+                return None
+            raw.append(byte)
+        return int.from_bytes(bytes(raw), "little", signed=True)
+
+
+def replay_program(
+    program: Program,
+    initial_regs: list[int],
+    read_fn: ReadFn,
+    max_steps: int = 1_000_000,
+) -> ReplayResult:
+    """Re-execute *program* from *initial_regs* over *read_fn*.
+
+    Loads read the replay's own overlay first (store-to-load
+    forwarding within the transaction), then fall through to
+    ``read_fn``; stores go only to the overlay, never to the
+    underlying memory.  Returns the final registers, the overlay, and
+    the executed pc trace.  Raises :class:`ReplayLimitExceeded` if the
+    program fails to terminate within *max_steps* instructions.
+    """
+    regs = list(initial_regs)
+    result = ReplayResult(regs=regs)
+    overlay = result.overlay
+    cc_lhs = cc_rhs = 0
+    cc_valid = False
+    pc = 0
+
+    def read(addr: int, size: int) -> int:
+        raw = bytearray(read_fn(addr, size))
+        for i in range(size):
+            byte = overlay.get(addr + i)
+            if byte is not None:
+                raw[i] = byte
+        return int.from_bytes(bytes(raw), "little", signed=True)
+
+    def write(addr: int, value: int, size: int) -> None:
+        mask = (1 << (8 * size)) - 1
+        for i, byte in enumerate((value & mask).to_bytes(size, "little")):
+            overlay[addr + i] = byte
+
+    def operand(op) -> int:
+        if isinstance(op, Reg):
+            return regs[op]
+        assert isinstance(op, Imm)
+        return op.value
+
+    def effective_addr(inst) -> int:
+        if inst.base is None:
+            return inst.addr
+        return regs[inst.base] + inst.disp
+
+    while pc < len(program):
+        if result.steps >= max_steps:
+            raise ReplayLimitExceeded(
+                f"replay exceeded {max_steps} instructions at pc={pc}"
+            )
+        inst = program.instructions[pc]
+        result.pc_trace.append(pc)
+        result.steps += 1
+        next_pc = pc + 1
+
+        if isinstance(inst, Load):
+            regs[inst.rd] = read(effective_addr(inst), inst.size)
+        elif isinstance(inst, Store):
+            write(effective_addr(inst), operand(inst.src), inst.size)
+        elif isinstance(inst, Op):
+            regs[inst.rd] = apply_op(
+                inst.op, regs[inst.rs1], operand(inst.src2)
+            )
+        elif isinstance(inst, Mov):
+            regs[inst.rd] = regs[inst.rs]
+        elif isinstance(inst, Movi):
+            regs[inst.rd] = inst.value
+        elif isinstance(inst, Cmp):
+            cc_lhs = regs[inst.rs1]
+            cc_rhs = operand(inst.src2)
+            cc_valid = True
+        elif isinstance(inst, Branch):
+            if evaluate_cond(inst.cond, regs[inst.rs1], operand(inst.src2)):
+                next_pc = program.target(inst.target)
+        elif isinstance(inst, Bcc):
+            if not cc_valid:
+                raise RuntimeError("replay: Bcc before any Cmp")
+            if evaluate_cond(inst.cond, cc_lhs, cc_rhs):
+                next_pc = program.target(inst.target)
+        elif isinstance(inst, Jump):
+            next_pc = program.target(inst.target)
+        elif isinstance(inst, Nop):
+            pass
+        elif isinstance(inst, Halt):
+            next_pc = len(program)
+        else:  # pragma: no cover - exhaustive
+            raise TypeError(f"unknown instruction: {inst!r}")
+
+        pc = next_pc
+
+    return result

@@ -10,6 +10,8 @@ Examples::
     python -m repro experiments --scale 1.0 --jobs 8
     python -m repro sweep python_opt --jobs 4
     python -m repro sweep --smoke --jobs 2
+    python -m repro run python_opt --check --trace=50
+    python -m repro check --smoke --jobs 2
 
 Simulation commands accept ``--jobs N`` (default ``$REPRO_JOBS`` or
 all cores) to fan independent points out over worker processes, and
@@ -77,7 +79,7 @@ def _cmd_list(_args) -> int:
     for name in ALL_VARIANTS:
         print(f"  {name:18s} {WORKLOADS[name].spec.description}")
     print("\nTM systems: eager, eager-abort, eager-stall, lazy, "
-          "lazy-vb, datm, retcon")
+          "lazy-vb, datm, retcon, retcon-fwd")
     return 0
 
 
@@ -103,19 +105,146 @@ def _print_result(result) -> None:
     for inv in result.invariants:
         status = "ok" if inv.ok else "FAILED"
         print(f"invariant [{inv.name}]: {status} — {inv.detail}")
+    if result.oracle_checked:
+        status = "ok" if result.oracle_ok else "FAILED"
+        print(f"oracle: {status} — {result.oracle_commits} commits "
+              f"replayed, {len(result.oracle_violations)} violations")
+        for violation in result.oracle_violations[:10]:
+            print(f"  [{violation['kind']}] core {violation['core']} "
+                  f"txn={violation['txn_label']} {violation['detail']}")
+    if result.golden is not None:
+        status = "ok" if result.golden_ok else "FAILED"
+        print(f"golden diff: {status} — "
+              f"{result.golden['blocks_differing']}/"
+              f"{result.golden['blocks_compared']} blocks differ "
+              f"({result.golden['bytes_differing']} bytes); "
+              f"golden failures={result.golden['golden_failures']} "
+              f"parallel failures={result.golden['parallel_failures']}")
 
 
 def _cmd_run(args) -> int:
+    if args.trace is not None:
+        return _run_traced(args)
     point = Point(
         workload=args.workload,
         system=args.system,
         ncores=args.cores,
         seed=args.seed,
         scale=args.scale,
+        check=args.check,
     )
     result = run_points([point], **_engine_opts(args))[point]
     _print_result(result)
-    return 0 if result.invariants_ok else 1
+    return 0 if result.check_ok else 1
+
+
+def _run_traced(args) -> int:
+    """``repro run --trace[=N]``: re-simulate with a Tracer attached.
+
+    Trace events are not serializable into the result cache, so this
+    path always simulates directly.
+    """
+    from repro.sim.runner import run_workload
+    from repro.sim.trace import Tracer
+
+    tracer = Tracer(limit=args.trace if args.trace > 0 else None)
+    result = run_workload(
+        args.workload,
+        args.system,
+        ncores=args.cores,
+        seed=args.seed,
+        scale=args.scale,
+        oracle=args.check,
+        golden=args.check,
+        tracer=tracer,
+    )
+    _print_result(result)
+    summary = ", ".join(
+        f"{kind}={count}" for kind, count in sorted(tracer.summary().items())
+    )
+    print(f"\ntrace: {len(tracer.events)} events ({summary})"
+          + (f", {tracer.dropped} dropped" if tracer.dropped else ""))
+    for event in tracer.events:
+        print(f"  {event}")
+    return 0 if result.check_ok else 1
+
+
+def _cmd_check(args) -> int:
+    """``repro check``: oracle matrix + fault-injection self-test."""
+    from repro.check.matrix import check_spec, run_fault_matrix
+
+    spec = check_spec(smoke=args.smoke)
+    start = time.perf_counter()
+    results = run_points(spec.points(), **_engine_opts(args))
+    rows = []
+    matrix_ok = True
+    for point, result in results.items():
+        matrix_ok = matrix_ok and result.check_ok
+        golden = "-"
+        if result.golden is not None:
+            golden = ("ok" if result.golden_ok
+                      else f"{result.golden['bytes_differing']}B differ")
+        rows.append(
+            (
+                point.workload,
+                point.system,
+                result.commits,
+                (f"{len(result.oracle_violations)} violations"
+                 if result.oracle_checked and not result.oracle_ok
+                 else ("ok" if result.oracle_checked else "-")),
+                golden,
+                "ok" if result.invariants_ok else "FAILED",
+            )
+        )
+    elapsed = time.perf_counter() - start
+    print(f"oracle matrix [{spec.name}]: {len(results)} points "
+          f"in {elapsed:.1f}s")
+    print(
+        format_table(
+            ["workload", "system", "commits", "oracle", "golden",
+             "invariants"],
+            rows,
+        )
+    )
+
+    if args.no_faults:
+        print(f"\noracle matrix: {'PASS' if matrix_ok else 'FAIL'} "
+              "(fault matrix skipped)")
+        return 0 if matrix_ok else 1
+
+    print("\nfault matrix (control + every fault point, "
+          "contended retcon scenario):")
+    start = time.perf_counter()
+    trials = run_fault_matrix()
+    elapsed = time.perf_counter() - start
+    faults_ok = True
+    rows = []
+    for trial in trials:
+        faults_ok = faults_ok and trial.caught
+        kinds = ",".join(sorted(trial.kinds)) or "-"
+        rows.append(
+            (
+                trial.fault or "(control)",
+                trial.stage,
+                trial.fires,
+                trial.checked_commits,
+                trial.violations,
+                kinds,
+                "ok" if trial.caught else "MISSED",
+            )
+        )
+    print(format_table(
+        ["fault", "stage", "fires", "commits", "violations", "kinds",
+         "verdict"],
+        rows,
+    ))
+    injected = sum(1 for t in trials if t.fault is not None)
+    print(f"fault matrix: {injected} faults in {elapsed:.1f}s")
+    ok = matrix_ok and faults_ok
+    print(f"\ncheck: {'PASS' if ok else 'FAIL'} "
+          f"(oracle matrix {'ok' if matrix_ok else 'FAILED'}, "
+          f"fault matrix {'ok' if faults_ok else 'FAILED'})")
+    return 0 if ok else 1
 
 
 def _cmd_compare(args) -> int:
@@ -254,9 +383,22 @@ def _cmd_sweep(args) -> int:
         core_counts,
         seed=args.seed,
         scale=args.scale,
+        check=args.check,
         **_engine_opts(args),
     )
     print(format_sweep(args.workload, curves))
+    if args.check:
+        bad = [
+            (system, point.ncores)
+            for system, curve in curves.items()
+            for point in curve
+            if not point.check_ok
+        ]
+        if bad:
+            print("check FAILED at: "
+                  + ", ".join(f"{s}@{n}" for s, n in bad))
+            return 1
+        print("check: all points ok")
     return 0
 
 
@@ -318,6 +460,16 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one workload on one system")
     run.add_argument("workload", choices=sorted(WORKLOADS))
     run.add_argument("--system", default="retcon")
+    run.add_argument(
+        "--check", action="store_true",
+        help="attach the repair oracle and diff against a golden run",
+    )
+    run.add_argument(
+        "--trace", nargs="?", const=200, default=None, type=int,
+        metavar="N",
+        help="print the first N simulator trace events (default 200; "
+             "0 = unlimited; bypasses the result cache)",
+    )
     _add_run_args(run)
 
     compare = sub.add_parser(
@@ -364,7 +516,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true",
         help="run the tiny CI smoke grid instead of a core sweep",
     )
+    sweep.add_argument(
+        "--check", action="store_true",
+        help="attach the repair oracle + golden differ to every point",
+    )
     _add_engine_args(sweep)
+
+    check = sub.add_parser(
+        "check",
+        help="correctness oracle: replay every commit, diff against a "
+             "golden run, and self-test via fault injection",
+    )
+    check.add_argument(
+        "--smoke", action="store_true",
+        help="small grid + shortened fault scenario (CI)",
+    )
+    check.add_argument(
+        "--no-faults", action="store_true",
+        help="skip the fault-injection self-test",
+    )
+    _add_engine_args(check)
 
     return parser
 
@@ -377,6 +548,7 @@ COMMANDS = {
     "table": _cmd_table,
     "experiments": _cmd_experiments,
     "sweep": _cmd_sweep,
+    "check": _cmd_check,
 }
 
 

@@ -90,6 +90,8 @@ def _run_group(group: list[Point]) -> list[tuple[Point, WorkloadResult, float]]:
             config=config,
             seq_cycles=seq_cycles,
             generated=generated,
+            oracle=point.check,
+            golden=point.check,
         )
         seconds = time.perf_counter() - start
         if i == 0:

@@ -31,6 +31,8 @@ class Point:
     seed: int = 1
     scale: float = 1.0
     config: Optional[MachineConfig] = None
+    #: attach the correctness oracle + golden-run differ to the run
+    check: bool = False
 
     def resolved_config(self) -> MachineConfig:
         """The machine configuration this point actually runs with."""
@@ -56,12 +58,17 @@ class Point:
             "seed": self.seed,
             "scale": self.scale,
             "config": asdict(self.resolved_config()),
+            # part of the cache key: a checked run carries oracle/golden
+            # fields an unchecked run lacks
+            "check": self.check,
         }
 
     def label(self) -> str:
         extras = ""
         if self.config is not None:
             extras = f" config={point_key(self, version='')[:8]}"
+        if self.check:
+            extras += " +check"
         return (
             f"{self.workload}/{self.system} ncores={self.ncores} "
             f"seed={self.seed} scale={self.scale}{extras}"
@@ -101,6 +108,8 @@ class ExperimentSpec:
     scale: float = 1.0
     config: Optional[MachineConfig] = None
     description: str = ""
+    #: run every point with the correctness oracle + golden differ
+    check: bool = False
 
     def __post_init__(self) -> None:
         # Tolerate lists/generators from callers; store tuples so the
@@ -120,6 +129,7 @@ class ExperimentSpec:
                 seed=seed,
                 scale=self.scale,
                 config=self.config,
+                check=self.check,
             )
             for workload in self.workloads
             for ncores in self.core_counts

@@ -78,6 +78,10 @@ class BaseTMSystem:
     """The eager-baseline HTM (also the superclass of all variants)."""
 
     name = "eager"
+    #: False for systems whose commits legitimately diverge from a
+    #: committed-state replay (speculative value forwarding); the
+    #: Machine declines to attach a repair oracle to those.
+    oracle_compatible = True
 
     def __init__(
         self,
@@ -103,6 +107,12 @@ class BaseTMSystem:
         #: optional callable core -> current cycle (set by the Machine
         #: so trace events carry timestamps)
         self.clock = None
+        #: optional :class:`repro.check.oracle.RepairOracle`; the core
+        #: drives its recording hooks, RETCON pre-commit its checks
+        self.oracle = None
+        #: optional :class:`repro.check.faults.FaultInjector` (oracle
+        #: self-tests corrupt pre-commit state through this)
+        self.fault_injector = None
 
     def _trace(self, kind: str, core: int, **detail) -> None:
         if self.tracer is not None:
@@ -559,6 +569,9 @@ class RetconTMSystem(BaseTMSystem):
             else sum(reacquire_latencies)
         )
 
+        if self.fault_injector is not None:
+            self.fault_injector.fire("pre-validate", engine, None)
+
         try:
             engine.validate(current)
         except ConstraintViolation as violation:
@@ -566,6 +579,11 @@ class RetconTMSystem(BaseTMSystem):
             self._abort_self(core, reason="constraint")
 
         plan = engine.commit_plan(current)
+
+        if self.fault_injector is not None:
+            self.fault_injector.fire("post-plan", engine, plan)
+        if self.oracle is not None:
+            self.oracle.check_commit(core, engine, ctx.undo, plan, self.memory)
 
         # Resolve every drain conflict before touching memory so a
         # stall cannot leave a half-drained commit visible.

@@ -37,3 +37,17 @@ class UndoLog:
     def written_ranges(self) -> list[tuple[int, int]]:
         """Return (addr, size) of every logged store, oldest first."""
         return [(addr, len(data)) for addr, data in self._entries]
+
+    def pre_image(self) -> dict[int, int]:
+        """Per-byte pre-transaction values of every logged location.
+
+        The first record for a byte wins: that is the value the byte
+        held when the transaction first overwrote it.  Used by the
+        repair oracle to reconstruct the memory image a replay of the
+        transaction should read through.
+        """
+        image: dict[int, int] = {}
+        for addr, data in self._entries:
+            for i, byte in enumerate(data):
+                image.setdefault(addr + i, byte)
+        return image

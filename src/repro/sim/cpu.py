@@ -119,6 +119,11 @@ class Core:
             self.attempt_busy = 0
             self.attempt_start = self.cycle
             self._txn_regs = self.regs.snapshot()
+            oracle = self.system.oracle
+            if oracle is not None:
+                oracle.on_txn_begin(
+                    self.cid, item.program, item.label, self._txn_regs
+                )
 
         doom_reason = self.system.poll_doomed(self.cid)
         if doom_reason is not None:
@@ -130,6 +135,7 @@ class Core:
             self._try_commit()
             return
 
+        pc_before = self.pc
         inst = program.instructions[self.pc]
         try:
             latency = self._execute(inst, program)
@@ -139,6 +145,8 @@ class Core:
         except TxnAborted:
             self._handle_abort()
             return
+        if self.system.oracle is not None:
+            self.system.oracle.on_instruction(self.cid, pc_before)
         self.consecutive_stalls = 0
         self.attempt_busy += latency
         self.cycle += latency
@@ -172,6 +180,8 @@ class Core:
         self.consecutive_stalls = 0
         for reg, value in result.register_repairs:
             self.regs.write(Reg(reg), value)
+        if self.system.oracle is not None:
+            self.system.oracle.on_committed(self.cid, self.regs.snapshot())
         self.consecutive_aborts = 0
         label = self.items[self.item_idx].label
         self.stats.label_commits[label] = (
@@ -190,6 +200,8 @@ class Core:
     def _handle_abort(self) -> None:
         """The current attempt is dead: charge it to conflict time and
         restart the transaction (zero-cycle rollback)."""
+        if self.system.oracle is not None:
+            self.system.oracle.on_abort(self.cid)
         self.stats.conflict += self.attempt_busy
         item = self.current_item()
         if item is not None and hasattr(item, "label"):

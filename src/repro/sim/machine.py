@@ -39,6 +39,9 @@ class RunResult:
     stats: MachineStats
     memory: MainMemory
     system_name: str
+    #: the :class:`repro.check.oracle.RepairOracle` that watched the
+    #: run, when the machine was built with ``check=``
+    oracle: "object | None" = None
 
     @property
     def commits(self) -> int:
@@ -59,6 +62,8 @@ class Machine:
         scripts: list[ThreadScript],
         memory: MainMemory,
         label: str | None = None,
+        check: "bool | object | None" = None,
+        tracer: "object | None" = None,
     ) -> None:
         if len(scripts) > config.ncores:
             raise ValueError(
@@ -82,6 +87,20 @@ class Machine:
             for cid, script in enumerate(padded)
         ]
         self.system.clock = lambda cid: self.cores[cid].cycle
+        if tracer is not None:
+            self.system.tracer = tracer
+        # check=True attaches a fresh repair oracle; pass a configured
+        # RepairOracle instance for strict mode / custom limits.
+        # Systems with oracle_compatible=False (speculative value
+        # forwarding) are skipped: self.oracle stays None.
+        self.oracle = None
+        if check and self.system.oracle_compatible:
+            if check is True:
+                from repro.check.oracle import RepairOracle
+
+                check = RepairOracle()
+            self.oracle = check
+            self.system.oracle = check
 
     # ------------------------------------------------------------------
     def run(self, max_cycles: int = 500_000_000) -> RunResult:
@@ -129,6 +148,7 @@ class Machine:
             stats=self.stats,
             memory=self.memory,
             system_name=self.system.name,
+            oracle=self.oracle,
         )
 
     def _done_count(self) -> int:

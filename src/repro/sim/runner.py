@@ -36,6 +36,14 @@ class WorkloadResult:
     invariants: list[InvariantResult] = field(default_factory=list)
     #: (commits, aborted attempts) per transaction label
     by_label: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: True when a repair oracle watched the run
+    oracle_checked: bool = False
+    #: RETCON commits the oracle replayed and validated
+    oracle_commits: int = 0
+    #: serialized :class:`repro.check.oracle.OracleViolation` dicts
+    oracle_violations: list[dict] = field(default_factory=list)
+    #: serialized :class:`repro.check.golden.GoldenDiff`, if one ran
+    golden: Optional[dict] = None
 
     @property
     def speedup(self) -> float:
@@ -44,6 +52,19 @@ class WorkloadResult:
     @property
     def invariants_ok(self) -> bool:
         return all(inv.ok for inv in self.invariants)
+
+    @property
+    def oracle_ok(self) -> bool:
+        return not self.oracle_violations
+
+    @property
+    def golden_ok(self) -> bool:
+        return self.golden is None or bool(self.golden.get("ok"))
+
+    @property
+    def check_ok(self) -> bool:
+        """Every enabled correctness signal passed."""
+        return self.invariants_ok and self.oracle_ok and self.golden_ok
 
     def failed_invariants(self) -> list[InvariantResult]:
         return [inv for inv in self.invariants if not inv.ok]
@@ -68,6 +89,10 @@ class WorkloadResult:
                 for inv in self.invariants
             ],
             "by_label": {k: list(v) for k, v in self.by_label.items()},
+            "oracle_checked": self.oracle_checked,
+            "oracle_commits": self.oracle_commits,
+            "oracle_violations": list(self.oracle_violations),
+            "golden": self.golden,
         }
 
     @classmethod
@@ -95,6 +120,10 @@ class WorkloadResult:
             by_label={
                 k: tuple(v) for k, v in data["by_label"].items()
             },
+            oracle_checked=data.get("oracle_checked", False),
+            oracle_commits=data.get("oracle_commits", 0),
+            oracle_violations=list(data.get("oracle_violations", ())),
+            golden=data.get("golden"),
         )
 
 
@@ -122,6 +151,9 @@ def run_workload(
     seq_cycles: Optional[int] = None,
     check: bool = True,
     generated: Optional[GeneratedWorkload] = None,
+    oracle: bool = False,
+    golden: bool = False,
+    tracer=None,
 ) -> WorkloadResult:
     """Simulate *name* on *system* and compare against sequential.
 
@@ -129,6 +161,12 @@ def run_workload(
     re-running the baseline when sweeping systems, and ``generated``
     (from :func:`generate_and_baseline`) to reuse the generated
     workload instead of regenerating it per system.
+
+    ``oracle=True`` attaches the replay-based repair oracle
+    (:mod:`repro.check.oracle`) to the run; ``golden=True`` diffs the
+    final state against a sequential golden run
+    (:mod:`repro.check.golden`); ``tracer`` attaches a
+    :class:`repro.sim.trace.Tracer` to the TM system.
     """
     config = (config or MachineConfig()).with_cores(ncores)
     if generated is None:
@@ -143,6 +181,8 @@ def run_workload(
         generated.memory.clone(),
         label=f"{name}/{system} ncores={ncores} seed={seed} "
               f"scale={scale}",
+        check=oracle,
+        tracer=tracer,
     )
     parallel = machine.run()
 
@@ -152,6 +192,20 @@ def run_workload(
     invariants = (
         generated.check_invariants(parallel.memory) if check else []
     )
+    oracle_commits = 0
+    oracle_violations: list[dict] = []
+    if parallel.oracle is not None:
+        oracle_commits = parallel.oracle.checked_commits
+        oracle_violations = [
+            v.to_dict() for v in parallel.oracle.violations
+        ]
+    golden_dict = None
+    if golden:
+        from repro.check.golden import golden_diff
+
+        golden_dict = golden_diff(
+            generated, parallel.memory, config
+        ).to_dict()
     stats = parallel.stats
     return WorkloadResult(
         workload=name,
@@ -167,6 +221,10 @@ def run_workload(
         commit_stall_percent=stats.commit_stall_percent(),
         invariants=invariants,
         by_label=stats.label_summary(),
+        oracle_checked=parallel.oracle is not None,
+        oracle_commits=oracle_commits,
+        oracle_violations=oracle_violations,
+        golden=golden_dict,
     )
 
 

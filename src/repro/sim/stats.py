@@ -178,7 +178,31 @@ class MachineStats:
         return merged
 
     def commit_stall_percent(self) -> float:
-        """Pre-commit repair cycles as % of transaction lifetime."""
+        """Pre-commit repair cycles as % of transaction lifetime.
+
+        0.0 when nothing committed (all-abort / empty runs), like
+        every other percentage here: an all-abort run is a valid
+        outcome of an adversarial schedule and must not crash the
+        aggregation.
+        """
         if self._txn_cycles == 0:
             return 0.0
         return 100.0 * self._txn_commit_cycles / self._txn_cycles
+
+    def retcon_sampled_txns(self) -> int:
+        """Committed transactions that contributed a RETCON sample
+        (0 on baseline systems and on all-abort runs)."""
+        return self._retcon[self.RETCON_FIELDS[0]].count
+
+    def abort_rate_percent(self) -> float:
+        """Aborted attempts as % of all attempts; 0.0 with no attempts.
+
+        Guarded against the all-abort case: commits may be zero while
+        aborts are not, and vice versa.
+        """
+        commits = self.total_commits()
+        aborts = self.total_aborts()
+        attempts = commits + aborts
+        if attempts == 0:
+            return 0.0
+        return 100.0 * aborts / attempts

@@ -20,6 +20,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "quicksort"])
 
+    def test_trace_flag_forms(self):
+        args = build_parser().parse_args(["run", "kmeans"])
+        assert args.trace is None and args.check is False
+        args = build_parser().parse_args(["run", "kmeans", "--trace"])
+        assert args.trace == 200
+        args = build_parser().parse_args(
+            ["run", "kmeans", "--trace=7", "--check"]
+        )
+        assert args.trace == 7 and args.check is True
+
+    def test_check_command(self):
+        args = build_parser().parse_args(["check", "--smoke"])
+        assert args.smoke and not args.no_faults
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -79,6 +93,36 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "cores" in out and "eager" in out
+
+    def test_run_with_check(self, capsys):
+        code = main(
+            ["run", "kmeans", "--cores", "2", "--scale", "0.1",
+             "--check", "--no-cache"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "oracle: ok" in out
+        assert "golden diff: ok" in out
+
+    def test_run_with_trace(self, capsys):
+        code = main(
+            ["run", "kmeans", "--cores", "2", "--scale", "0.1",
+             "--trace", "5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace: 5 events" in out
+        assert "begin" in out
+
+    def test_check_smoke_oracle_matrix(self, capsys):
+        code = main(
+            ["check", "--smoke", "--no-faults", "--no-cache",
+             "--jobs", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "oracle matrix" in out
+        assert "PASS" in out
 
     def test_run_prints_label_breakdown(self, capsys):
         code = main(

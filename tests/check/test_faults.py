@@ -1,0 +1,54 @@
+"""Fault injection: the oracle's self-test.
+
+Acceptance gate for the subsystem: the catalog holds >= 10 distinct
+fault points, a clean control run reports zero violations, and every
+injected fault is caught as at least one OracleViolation.
+"""
+
+import pytest
+
+from repro.check.faults import FAULT_POINTS, FaultInjector
+from repro.check.matrix import run_fault_trial
+
+
+class TestCatalog:
+    def test_at_least_ten_distinct_faults(self):
+        assert len(FAULT_POINTS) >= 10
+
+    def test_both_stages_are_covered(self):
+        stages = {point.stage for point in FAULT_POINTS.values()}
+        assert stages == {"pre-validate", "post-plan"}
+
+    def test_every_point_is_documented(self):
+        for point in FAULT_POINTS.values():
+            assert point.description
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector("no-such-fault")
+
+    def test_max_fires_bounds_injection(self):
+        trial = run_fault_trial("plan-store-skew")
+        assert trial.fires > 1  # default: fires on every commit
+        injector = FaultInjector("plan-store-skew", max_fires=0)
+        injector.fire("post-plan", None, None)
+        assert injector.fires == 0
+
+
+class TestControl:
+    def test_control_run_is_clean(self):
+        trial = run_fault_trial(None)
+        assert trial.fault is None
+        assert trial.fires == 0
+        assert trial.checked_commits > 0
+        assert trial.violations == 0
+        assert trial.caught  # "caught" for the control means clean
+
+
+@pytest.mark.parametrize("fault", sorted(FAULT_POINTS))
+def test_injected_fault_is_caught(fault):
+    trial = run_fault_trial(fault)
+    assert trial.fires > 0, f"{fault} never found a victim"
+    assert trial.violations > 0, f"{fault} escaped the oracle"
+    assert trial.caught
+    assert trial.kinds  # violation kinds were classified

@@ -71,3 +71,39 @@ class TestAbortAccounting:
             "conflict": 3, "constraint": 4
         }
         assert stats.total_aborts() == 7
+
+    def test_abort_rate(self):
+        stats = MachineStats(1)
+        stats.core(0).commits = 3
+        stats.core(0).aborts["conflict"] = 1
+        assert stats.abort_rate_percent() == 25.0
+
+
+class TestAllAbortRuns:
+    """Zero committed transactions must not divide by zero anywhere:
+    an all-abort run is a valid outcome of an adversarial schedule."""
+
+    def test_percentages_on_empty_stats(self):
+        stats = MachineStats(2)
+        assert stats.commit_stall_percent() == 0.0
+        assert stats.abort_rate_percent() == 0.0
+        assert stats.retcon_sampled_txns() == 0
+
+    def test_aborts_without_commits(self):
+        stats = MachineStats(1)
+        stats.core(0).aborts["conflict"] = 5
+        # a retcon sample was recorded at pre-commit, but the commit
+        # itself never landed (record_txn never called)
+        stats.record_retcon_sample(0, TxnRetconSample(blocks_lost=2))
+        assert stats.abort_rate_percent() == 100.0
+        assert stats.commit_stall_percent() == 0.0
+        assert stats.retcon_sampled_txns() == 0
+        for avg, peak in stats.table3_row().values():
+            assert avg == 0.0 and peak == 0.0
+
+    def test_sampled_txns_counts_committed_samples(self):
+        stats = MachineStats(1)
+        stats.record_retcon_sample(0, TxnRetconSample(blocks_lost=1))
+        stats.record_txn(0, duration=10, commit_cycles=2)
+        stats.record_txn(0, duration=10, commit_cycles=0)  # no sample
+        assert stats.retcon_sampled_txns() == 1
