@@ -12,6 +12,7 @@ Examples::
     python -m repro sweep --smoke --jobs 2
     python -m repro run python_opt --check --trace=50
     python -m repro check --smoke --jobs 2
+    python -m repro profile -o BENCH_pr3.json
 
 Simulation commands accept ``--jobs N`` (default ``$REPRO_JOBS`` or
 all cores) to fan independent points out over worker processes, and
@@ -431,6 +432,62 @@ def _run_smoke(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_profile(args) -> int:
+    """``repro profile``: wall-clock-time the smoke grid.
+
+    Unlike every other command this measures the simulator itself, so
+    it never touches the result cache and times each point in-process
+    (workload generation excluded).
+    """
+    from repro.analysis.profile import (
+        bench_payload,
+        profile_smoke,
+        write_bench,
+    )
+
+    def progress(profile) -> None:
+        print(
+            f"  {profile.workload:12s} {profile.system:8s} "
+            f"{profile.sim_seconds * 1000:8.1f} ms  "
+            f"{profile.cycles_per_second / 1e6:6.2f} Mcycles/s",
+            file=sys.stderr,
+        )
+
+    print(
+        f"profiling smoke grid (scale={args.scale}, cores={args.cores}, "
+        f"seed={args.seed}, best of {args.repeats})...",
+        file=sys.stderr,
+    )
+    profiles = profile_smoke(
+        scale=args.scale,
+        ncores=args.cores,
+        seed=args.seed,
+        repeats=args.repeats,
+        progress=progress,
+    )
+    payload = bench_payload(profiles, label=args.label)
+    print(format_table(
+        ["workload", "system", "sim ms", "gen ms", "Mcycles/s"],
+        [
+            (
+                p.workload,
+                p.system,
+                f"{p.sim_seconds * 1000:.1f}",
+                f"{p.gen_seconds * 1000:.1f}",
+                f"{p.cycles_per_second / 1e6:.2f}",
+            )
+            for p in profiles
+        ],
+    ))
+    print(f"grid total: {payload['total_sim_seconds'] * 1000:.1f} ms "
+          f"simulation, {payload['grid_cycles_per_second'] / 1e6:.2f} "
+          "Mcycles/s")
+    if args.output:
+        write_bench(args.output, payload)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_experiments(args) -> int:
     from repro.analysis.experiments import main as experiments_main
 
@@ -522,6 +579,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_args(sweep)
 
+    profile = sub.add_parser(
+        "profile",
+        help="wall-clock-time the simulator over the smoke grid and "
+             "emit a BENCH json (perf trajectory)",
+    )
+    profile.add_argument("--cores", type=int, default=4)
+    profile.add_argument("--scale", type=float, default=0.1)
+    profile.add_argument("--seed", type=int, default=1)
+    profile.add_argument(
+        "--repeats", type=int, default=3,
+        help="simulations per point; the best is reported",
+    )
+    profile.add_argument(
+        "--label", default="pr3",
+        help="label recorded in the payload (e.g. the PR number)",
+    )
+    profile.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write the JSON payload to FILE (e.g. BENCH_pr3.json)",
+    )
+
     check = sub.add_parser(
         "check",
         help="correctness oracle: replay every commit, diff against a "
@@ -549,6 +627,7 @@ COMMANDS = {
     "experiments": _cmd_experiments,
     "sweep": _cmd_sweep,
     "check": _cmd_check,
+    "profile": _cmd_profile,
 }
 
 

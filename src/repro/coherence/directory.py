@@ -27,7 +27,7 @@ from typing import Optional
 from repro.mem.cache import PermissionsOnlyCache, SetAssocCache
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessOutcome:
     """Result of performing a coherence access."""
 
@@ -114,14 +114,21 @@ class CoherenceFabric:
                 line.spec_written = False
 
     def clear_spec(self, core: int) -> None:
-        """Clear all speculative bits of *core* (commit or abort)."""
+        """Clear all speculative bits of *core* (commit or abort).
+
+        Only the blocks recorded in the per-core speculative sets can
+        carry line bits (mark_spec and the L1→perm spill are the only
+        setters), so clearing walks those blocks instead of sweeping
+        every line of the L1 and permissions-only caches.
+        """
         caches = self.cores[core]
-        for block in caches.spec_read | caches.spec_written:
+        touched = caches.spec_read | caches.spec_written
+        for block in touched:
             self._discard_reverse(core, block)
         caches.spec_read.clear()
         caches.spec_written.clear()
-        caches.l1.clear_speculative_bits()
-        caches.perm.clear_speculative_bits()
+        caches.l1.clear_speculative_blocks(touched)
+        caches.perm.clear_speculative_blocks(touched)
         self.overflowed.discard(core)
 
     def _discard_reverse(self, core: int, block: int) -> None:
@@ -138,6 +145,19 @@ class CoherenceFabric:
     def spec_writers(self, block: int) -> set[int]:
         return set(self._spec_writers.get(block, ()))
 
+    def has_other_spec_writer(self, block: int, core: int) -> bool:
+        """Does any core other than *core* speculatively write *block*?
+
+        Allocation-free variant of ``spec_writers(block) - {core}`` for
+        the per-access tracking-eligibility check.
+        """
+        writers = self._spec_writers.get(block)
+        if not writers:
+            return False
+        if core in writers:
+            return len(writers) > 1
+        return True
+
     def conflicting_cores(
         self, core: int, block: int, write: bool
     ) -> set[int]:
@@ -147,9 +167,11 @@ class CoherenceFabric:
         block, or any external request to a speculatively-written block
         (paper §2).
         """
-        conflicts = set(self._spec_writers.get(block, ()))
-        if write:
-            conflicts |= self._spec_readers.get(block, set())
+        writers = self._spec_writers.get(block)
+        readers = self._spec_readers.get(block) if write else None
+        conflicts = set(writers) if writers else set()
+        if readers:
+            conflicts |= readers
         conflicts.discard(core)
         return conflicts
 

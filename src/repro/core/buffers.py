@@ -25,7 +25,7 @@ from repro.mem.address import BLOCK_SIZE, WORD_SIZE, block_base
 from repro.core.symvalue import SymValue
 
 
-@dataclass
+@dataclass(slots=True)
 class IVBEntry:
     """One block tracked by the initial value buffer."""
 
@@ -110,7 +110,7 @@ class InitialValueBuffer:
         self._entries.clear()
 
 
-@dataclass
+@dataclass(slots=True)
 class SSBEntry:
     """One symbolically-tracked (or block-tracked) store."""
 
@@ -222,7 +222,7 @@ class SymbolicRegisterFile:
             self._syms[i] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class ConditionCodes:
     """Condition-code state set by ``Cmp`` and read by ``Bcc``.
 

@@ -38,7 +38,7 @@ from repro.core.constraints import (
     constraint_from_branch,
 )
 from repro.core.predictor import ConflictPredictor
-from repro.core.symvalue import Root, SymValue
+from repro.core.symvalue import Root, SymValue, sym_root
 from repro.isa.instructions import TRACKABLE_OPS, Cond, negate_cond
 from repro.mem.address import block_base, block_of
 
@@ -55,7 +55,7 @@ class ConstraintViolation(Exception):
         self.block = block
 
 
-@dataclass
+@dataclass(slots=True)
 class TxnRetconSample:
     """Per-transaction structure-utilization numbers (Table 3)."""
 
@@ -104,6 +104,10 @@ class RetconEngine:
         self.sregs = SymbolicRegisterFile()
         self.cc = ConditionCodes()
         self.blocks_lost_count = 0
+        # Roots already pinned this transaction: equality constraints
+        # are idempotent, so repeat pins (every iteration of a loop
+        # with a symbolic base register, say) skip the IVB word walk.
+        self._pinned_roots: set[Root] = set()
 
     # ------------------------------------------------------------------
     # Transaction lifecycle
@@ -115,6 +119,7 @@ class RetconEngine:
         self.sregs.clear()
         self.cc.clear()
         self.blocks_lost_count = 0
+        self._pinned_roots.clear()
 
     abort_txn = begin_txn  # aborting discards exactly the same state
 
@@ -148,11 +153,14 @@ class RetconEngine:
     # ------------------------------------------------------------------
     def equality_constrain(self, root: Root) -> None:
         """Pin a root location to its initial value (§4.2)."""
+        if root in self._pinned_roots:
+            return
         addr, size = root
         entry = self.ivb.get(block_of(addr))
         if entry is None:  # pragma: no cover - invariant
             raise RuntimeError(f"root {root} not in a tracked block")
         entry.mark_equality(addr, size)
+        self._pinned_roots.add(root)
 
     def equality_constrain_sym(self, sym: Optional[SymValue]) -> None:
         if sym is not None:
@@ -193,7 +201,7 @@ class RetconEngine:
                 # lazy-vb: validate-only, no symbolic repair.
                 entry.mark_equality(addr, size)
                 return value, None
-            return value, SymValue(addr, size, 0)
+            return value, sym_root(addr, size)
 
         # Partial store-load communication: compose bytes concretely and
         # equality-constrain everything involved (§4.3).

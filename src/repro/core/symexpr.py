@@ -58,7 +58,7 @@ class SymExpr:
 def _coerce(value: "SymExpr | int") -> SymExpr:
     if isinstance(value, SymExpr):
         return value
-    return Const(int(value))
+    return const(int(value))
 
 
 @dataclass(frozen=True)
@@ -94,6 +94,33 @@ class Loc(SymExpr):
 
     def __repr__(self):
         return f"[{self.addr:#x}]"
+
+
+# Leaf nodes are hash-consed: expression trees built by the property
+# tests and the oracle repeat the same few constants and roots many
+# times, and both classes are frozen (structurally compared), so
+# sharing is observationally transparent.
+_CONST_INTERN: dict[int, Const] = {}
+_LOC_INTERN: dict[Root, Loc] = {}
+
+
+def const(value: int) -> Const:
+    """Interned constant leaf."""
+    node = _CONST_INTERN.get(value)
+    if node is None:
+        node = Const(value)
+        _CONST_INTERN[value] = node
+    return node
+
+
+def loc(addr: int, size: int = 8) -> Loc:
+    """Interned root-location leaf."""
+    key = (addr, size)
+    node = _LOC_INTERN.get(key)
+    if node is None:
+        node = Loc(addr, size)
+        _LOC_INTERN[key] = node
+    return node
 
 
 @dataclass(frozen=True)
@@ -183,14 +210,14 @@ def _linearize(expr: SymExpr) -> _Linear:
 def simplify(expr: SymExpr) -> SymExpr:
     """Constant-fold and canonicalize (linear combination form)."""
     linear = _linearize(expr)
-    result: SymExpr = Const(linear.constant)
+    result: SymExpr = const(linear.constant)
     for root, coeff in linear.coefficients:
-        term: SymExpr = Loc(*root)
+        term: SymExpr = loc(*root)
         if coeff != 1:
             term = Scale(term, coeff)
         result = Add(result, term) if not _is_zero(result) else term
     if _is_zero(result) and linear.constant == 0:
-        return Const(0)
+        return const(0)
     return result
 
 

@@ -16,7 +16,8 @@ constraints instead (§4.2, "Equality constraints").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
+from functools import cached_property
 
 Root = tuple  # (addr: int, size: int)
 
@@ -29,14 +30,16 @@ class SymValue:
     root_size: int
     delta: int = 0
 
-    @property
+    @cached_property
     def root(self) -> Root:
         """The (addr, size) pair identifying the root location."""
         return (self.root_addr, self.root_size)
 
     def shifted(self, amount: int) -> "SymValue":
         """Return this value plus a constant (add/sub folding)."""
-        return replace(self, delta=self.delta + amount)
+        if amount == 0:
+            return self
+        return SymValue(self.root_addr, self.root_size, self.delta + amount)
 
     def evaluate(self, root_value: int) -> int:
         """Concretize against the final value of the root location."""
@@ -48,3 +51,22 @@ class SymValue:
             return base
         sign = "+" if self.delta > 0 else "-"
         return f"{base}{sign}{abs(self.delta)}"
+
+
+_ROOT_INTERN: dict[Root, SymValue] = {}
+
+
+def sym_root(addr: int, size: int) -> SymValue:
+    """Interned zero-delta symbolic value for a root location.
+
+    Every symbolic load of a tracked location mints ``[root] + 0``; the
+    set of distinct roots is small (bounded by the IVB footprint), so
+    these nodes are hash-consed.  SymValue is immutable and compares
+    structurally, so interning is observationally transparent.
+    """
+    key = (addr, size)
+    sym = _ROOT_INTERN.get(key)
+    if sym is None:
+        sym = SymValue(addr, size, 0)
+        _ROOT_INTERN[key] = sym
+    return sym

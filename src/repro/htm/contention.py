@@ -31,12 +31,22 @@ class Resolution:
 
 
 class ContentionPolicy:
-    """Interface: decide what happens when *requester* hits *holder*."""
+    """Interface: decide what happens when *requester* hits *holder*.
+
+    ``requester_id``/``holder_id`` carry the core ids when the caller
+    knows them (-1 otherwise); policies may use them to break
+    timestamp ties deterministically.
+    """
 
     name = "abstract"
 
     def resolve(
-        self, requester_ts: int, holder_ts: int, requester_nontx: bool
+        self,
+        requester_ts: int,
+        holder_ts: int,
+        requester_nontx: bool,
+        requester_id: int = -1,
+        holder_id: int = -1,
     ) -> Resolution:
         raise NotImplementedError
 
@@ -46,14 +56,28 @@ class TimestampPolicy(ContentionPolicy):
 
     Non-transactional requesters always win (they cannot be rolled
     back), which also guarantees their forward progress.
+
+    Age is the ``(timestamp, core id)`` pair: two transactions that
+    begin on the same cycle share a timestamp, and without the core-id
+    tie-break both directions of such a conflict would resolve to
+    STALL — a guaranteed wait cycle that only the deadlock detector's
+    abort could break.  The lexicographic order stays total, so
+    stalling still only ever waits on a strictly older transaction.
     """
 
     name = "timestamp"
 
     def resolve(
-        self, requester_ts: int, holder_ts: int, requester_nontx: bool
+        self,
+        requester_ts: int,
+        holder_ts: int,
+        requester_nontx: bool,
+        requester_id: int = -1,
+        holder_id: int = -1,
     ) -> Resolution:
         if requester_nontx or requester_ts < holder_ts:
+            return Resolution(Action.ABORT_REMOTE)
+        if requester_ts == holder_ts and 0 <= requester_id < holder_id:
             return Resolution(Action.ABORT_REMOTE)
         return Resolution(Action.STALL)
 
@@ -64,7 +88,12 @@ class RequesterAbortsPolicy(ContentionPolicy):
     name = "requester-aborts"
 
     def resolve(
-        self, requester_ts: int, holder_ts: int, requester_nontx: bool
+        self,
+        requester_ts: int,
+        holder_ts: int,
+        requester_nontx: bool,
+        requester_id: int = -1,
+        holder_id: int = -1,
     ) -> Resolution:
         if requester_nontx:
             return Resolution(Action.ABORT_REMOTE)
@@ -82,7 +111,12 @@ class RequesterStallsPolicy(ContentionPolicy):
     name = "requester-stalls"
 
     def resolve(
-        self, requester_ts: int, holder_ts: int, requester_nontx: bool
+        self,
+        requester_ts: int,
+        holder_ts: int,
+        requester_nontx: bool,
+        requester_id: int = -1,
+        holder_id: int = -1,
     ) -> Resolution:
         if requester_nontx:
             return Resolution(Action.ABORT_REMOTE)

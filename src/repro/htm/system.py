@@ -41,7 +41,7 @@ from repro.sim.config import MachineConfig
 from repro.sim.stats import MachineStats
 
 
-@dataclass
+@dataclass(slots=True)
 class TxnContext:
     """Per-core transaction bookkeeping."""
 
@@ -55,19 +55,19 @@ class TxnContext:
     overflowed: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadResult:
     value: int
     latency: int
     sym: Optional[SymValue] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreResult:
     latency: int
 
 
-@dataclass
+@dataclass(slots=True)
 class CommitResult:
     latency: int
     #: (reg, value) register repairs RETCON computed at commit
@@ -172,12 +172,17 @@ class BaseTMSystem:
             if not holder_ctx.active:
                 continue  # already gone (e.g. aborted for a prior holder)
             resolution = self.policy.resolve(
-                ctx.ts, holder_ctx.ts, requester_nontx=nontx
+                ctx.ts,
+                holder_ctx.ts,
+                requester_nontx=nontx,
+                requester_id=core,
+                holder_id=holder,
             )
             action = resolution.action
             if action is Action.STALL and self._would_deadlock(core, holder):
-                # Break the wait cycle: abort the younger of the pair.
-                if ctx.ts > holder_ctx.ts:
+                # Break the wait cycle: abort the younger of the pair
+                # ((ts, core id) order, matching the timestamp policy).
+                if (ctx.ts, core) > (holder_ctx.ts, holder):
                     action = Action.ABORT_SELF
                 else:
                     action = Action.ABORT_REMOTE
@@ -204,6 +209,25 @@ class BaseTMSystem:
             ctx.doomed = False
             ctx.active = False
             raise TxnAborted(ctx.doom_reason)
+
+    def _clear_wait_edges(self, core: int) -> None:
+        """Drop *core* from the wait-for graph entirely.
+
+        Besides the core's own outgoing edge, every edge *pointing at*
+        the core is removed: a requester recorded as waiting on *core*
+        is no longer blocked once the core's transaction ends (it will
+        retry and re-resolve), and a stale incoming edge would let
+        ``_would_deadlock`` walk a cycle that no longer exists and
+        abort a transaction over a phantom deadlock.
+        """
+        self._waiting_on.pop(core, None)
+        stale = [
+            requester
+            for requester, holder in self._waiting_on.items()
+            if holder == core
+        ]
+        for requester in stale:
+            del self._waiting_on[requester]
 
     def _would_deadlock(self, requester: int, holder: int) -> bool:
         seen = set()
@@ -234,10 +258,9 @@ class BaseTMSystem:
         ctx.doomed = True
         ctx.doom_reason = reason
         ctx.block_mode.clear()
-        self._waiting_on.pop(core, None)
-        self.stats.core(core).aborts[reason] = (
-            self.stats.core(core).aborts.get(reason, 0) + 1
-        )
+        self._clear_wait_edges(core)
+        aborts = self.stats.core(core).aborts
+        aborts[reason] = aborts.get(reason, 0) + 1
         self._trace("abort", core, reason=reason, by="remote")
 
     def _abort_self(self, core: int, reason: str) -> None:
@@ -250,10 +273,9 @@ class BaseTMSystem:
         ctx.active = False
         ctx.doomed = False
         ctx.block_mode.clear()
-        self._waiting_on.pop(core, None)
-        self.stats.core(core).aborts[reason] = (
-            self.stats.core(core).aborts.get(reason, 0) + 1
-        )
+        self._clear_wait_edges(core)
+        aborts = self.stats.core(core).aborts
+        aborts[reason] = aborts.get(reason, 0) + 1
         self._trace("abort", core, reason=reason, by="self")
         raise TxnAborted(reason)
 
@@ -344,7 +366,7 @@ class BaseTMSystem:
         self.fabric.clear_spec(core)
         ctx.active = False
         ctx.block_mode.clear()
-        self._waiting_on.pop(core, None)
+        self._clear_wait_edges(core)
         self.stats.core(core).commits += 1
         self._trace("commit", core, latency=result.latency)
         return result
@@ -424,7 +446,7 @@ class RetconTMSystem(BaseTMSystem):
             return -1
         if not engine.wants_tracking(block):
             return -1
-        if self.fabric.spec_writers(block) - {core}:
+        if self.fabric.has_other_spec_writer(block, core):
             return -1
         outcome = self.fabric.acquire(core, block, write=False)
         engine.start_tracking(block, self.memory.read_block(block))

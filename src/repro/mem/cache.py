@@ -10,6 +10,14 @@ eliminates cache overflows entirely" on these workloads.
 
 Caches here track tags and metadata only; data lives in
 :class:`~repro.mem.memory.MainMemory`.
+
+Implementation note (hot path): every simulated memory access performs
+several lookups across L1/L2/permissions caches, so sets are stored as
+flat ``dict[block -> CacheLine]`` maps (insertion-ordered, like the
+fill order of a real set) rather than lists — a lookup is one dict
+probe instead of a way scan.  LRU state is a single monotonically
+increasing tick stamped on the touched line; eviction picks the line
+with the smallest stamp.
 """
 
 from __future__ import annotations
@@ -18,7 +26,18 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 
-@dataclass
+class NoEvictionCandidate(Exception):
+    """An insert needed a victim but the set holds no line at all.
+
+    This cannot happen through the public API (an insert only evicts
+    when the set is full, and full sets are non-empty); it exists so a
+    mis-configured cache (``assoc < 1``) fails with a named capacity
+    error instead of a bare ``ValueError`` from ``min()`` deep inside
+    the eviction scan.
+    """
+
+
+@dataclass(slots=True)
 class CacheLine:
     """Metadata for one resident block."""
 
@@ -41,14 +60,16 @@ class SetAssocCache:
     ) -> None:
         if size_bytes % (assoc * block_size):
             raise ValueError("cache size must be a multiple of way size")
+        if assoc < 1:
+            raise ValueError("associativity must be at least 1")
         self.assoc = assoc
         self.num_sets = size_bytes // (assoc * block_size)
-        self._sets: dict[int, list[CacheLine]] = {}
+        self._sets: dict[int, dict[int, CacheLine]] = {}
         self._tick = 0
 
     # -- internals -----------------------------------------------------------
-    def _set_for(self, block: int) -> list[CacheLine]:
-        return self._sets.setdefault(block % self.num_sets, [])
+    def _set_for(self, block: int) -> dict[int, CacheLine]:
+        return self._sets.setdefault(block % self.num_sets, {})
 
     def _touch(self, line: CacheLine) -> None:
         self._tick += 1
@@ -57,12 +78,35 @@ class SetAssocCache:
     # -- lookup / insert -------------------------------------------------------
     def lookup(self, block: int, touch: bool = True) -> Optional[CacheLine]:
         """Return the line holding *block*, or None on a miss."""
-        for line in self._set_for(block):
-            if line.block == block:
-                if touch:
-                    self._touch(line)
-                return line
-        return None
+        cache_set = self._sets.get(block % self.num_sets)
+        if cache_set is None:
+            return None
+        line = cache_set.get(block)
+        if line is not None and touch:
+            self._tick += 1
+            line.lru = self._tick
+        return line
+
+    def _pick_victim(self, cache_set: dict[int, CacheLine]) -> CacheLine:
+        """LRU victim: prefer non-speculative lines; when *every* line
+        in the set is speculative, evict the LRU speculative line (the
+        HTM layer then spills its bits to the permissions-only cache,
+        or declares overflow — the OneTM path)."""
+        victim: Optional[CacheLine] = None
+        fallback: Optional[CacheLine] = None
+        for line in cache_set.values():
+            if not line.speculative:
+                if victim is None or line.lru < victim.lru:
+                    victim = line
+            elif fallback is None or line.lru < fallback.lru:
+                fallback = line
+        if victim is None:
+            victim = fallback
+        if victim is None:
+            raise NoEvictionCandidate(
+                "eviction requested from an empty cache set"
+            )
+        return victim
 
     def insert(
         self, block: int, writable: bool
@@ -82,25 +126,21 @@ class SetAssocCache:
         cache_set = self._set_for(block)
         evicted: Optional[CacheLine] = None
         if len(cache_set) >= self.assoc:
-            non_spec = [ln for ln in cache_set if not ln.speculative]
-            candidates = non_spec if non_spec else cache_set
-            evicted = min(candidates, key=lambda ln: ln.lru)
-            cache_set.remove(evicted)
+            evicted = self._pick_victim(cache_set)
+            del cache_set[evicted.block]
 
         line = CacheLine(block=block, writable=writable)
         self._touch(line)
-        cache_set.append(line)
+        cache_set[block] = line
         return line, evicted
 
     # -- invalidation / downgrade ------------------------------------------------
     def invalidate(self, block: int) -> Optional[CacheLine]:
         """Drop *block*; return the removed line (with its spec bits)."""
-        cache_set = self._set_for(block)
-        for line in cache_set:
-            if line.block == block:
-                cache_set.remove(line)
-                return line
-        return None
+        cache_set = self._sets.get(block % self.num_sets)
+        if cache_set is None:
+            return None
+        return cache_set.pop(block, None)
 
     def downgrade(self, block: int) -> None:
         """Drop write permission for *block* (block stays readable)."""
@@ -112,23 +152,39 @@ class SetAssocCache:
     def speculative_lines(self) -> Iterator[CacheLine]:
         """Iterate all lines with a speculative bit set."""
         for cache_set in self._sets.values():
-            for line in cache_set:
+            for line in cache_set.values():
                 if line.speculative:
                     yield line
 
     def clear_speculative_bits(self) -> None:
         """Clear all speculative read/written bits (commit or abort)."""
         for cache_set in self._sets.values():
-            for line in cache_set:
+            for line in cache_set.values():
+                line.spec_read = False
+                line.spec_written = False
+
+    def clear_speculative_blocks(self, blocks) -> None:
+        """Clear speculative bits on *blocks* only.
+
+        The coherence fabric knows exactly which blocks a transaction
+        touched speculatively, so commit/abort clears those lines
+        directly instead of sweeping the whole cache.
+        """
+        for block in blocks:
+            cache_set = self._sets.get(block % self.num_sets)
+            if cache_set is None:
+                continue
+            line = cache_set.get(block)
+            if line is not None:
                 line.spec_read = False
                 line.spec_written = False
 
     # -- introspection --------------------------------------------------------
     def resident_blocks(self) -> list[int]:
         return sorted(
-            line.block
+            block
             for cache_set in self._sets.values()
-            for line in cache_set
+            for block in cache_set
         )
 
     def __contains__(self, block: int) -> bool:

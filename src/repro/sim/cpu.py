@@ -17,24 +17,26 @@ from repro.core.buffers import ConditionCodes
 from repro.htm.events import StallRetry, TxnAborted
 from repro.htm.system import BaseTMSystem
 from repro.isa.instructions import (
-    Bcc,
-    Branch,
-    Cmp,
-    Halt,
     Imm,
-    Jump,
-    Load,
-    Mov,
-    Movi,
-    Nop,
-    Op,
     Reg,
-    Store,
     apply_op,
     evaluate_cond,
 )
-from repro.isa.program import Program
 from repro.isa.registers import RegisterFile
+from repro.sim.decode import (
+    K_BCC,
+    K_BRANCH,
+    K_CMP,
+    K_HALT,
+    K_JUMP,
+    K_LOAD,
+    K_MOV,
+    K_MOVI,
+    K_NOP,
+    K_OP,
+    K_STORE,
+    decoded_for,
+)
 from repro.sim.script import Barrier, ThreadScript, Txn, Work
 from repro.sim.stats import CoreStats
 
@@ -73,10 +75,19 @@ class Core:
         self.in_txn = False
         self.restarting = False
         self.attempt_busy = 0
+        # Conflict cycles / stall events of the current attempt, kept
+        # core-local and flushed to CoreStats at commit or abort (every
+        # attempt ends in one of the two before the run can finish).
+        self.attempt_conflict = 0
+        self.attempt_stall_events = 0
         self.attempt_start = 0
         self.consecutive_aborts = 0
         self.consecutive_stalls = 0
         self._txn_regs: Optional[list[int]] = None
+        # Decode cache for the current transaction's program (the
+        # decoded list itself is shared across cores via the Program).
+        self._decoded_program = None
+        self._decoded: list[tuple] = []
 
     # ------------------------------------------------------------------
     def done(self) -> bool:
@@ -117,6 +128,8 @@ class Core:
             self.in_txn = True
             self.pc = 0
             self.attempt_busy = 0
+            self.attempt_conflict = 0
+            self.attempt_stall_events = 0
             self.attempt_start = self.cycle
             self._txn_regs = self.regs.snapshot()
             oracle = self.system.oracle
@@ -131,14 +144,17 @@ class Core:
             return
 
         program = item.program
-        if self.pc >= len(program):
+        if program is not self._decoded_program:
+            self._decoded_program = program
+            self._decoded = decoded_for(program)
+        if self.pc >= len(self._decoded):
             self._try_commit()
             return
 
         pc_before = self.pc
-        inst = program.instructions[self.pc]
+        inst = self._decoded[self.pc]
         try:
-            latency = self._execute(inst, program)
+            latency = self._execute(inst)
         except StallRetry:
             self._charge_stall()
             return
@@ -165,8 +181,8 @@ class Core:
             400,
         )
         self.cycle += stall
-        self.stats.conflict += stall
-        self.stats.stall_events += 1
+        self.attempt_conflict += stall
+        self.attempt_stall_events += 1
 
     def _try_commit(self) -> None:
         try:
@@ -190,12 +206,20 @@ class Core:
         self.cycle += result.latency
         self.stats.other += result.latency
         self.stats.busy += self.attempt_busy
+        self._flush_conflict_stats()
         duration = self.cycle - self.attempt_start
         # record_txn pairs with the TM system's pre-commit sample.
         self.system.stats.record_txn(self.cid, duration, result.latency)
         self.in_txn = False
         self.item_idx += 1
         self.pc = 0
+
+    def _flush_conflict_stats(self) -> None:
+        """Flush the attempt-local conflict accumulators (txn boundary)."""
+        self.stats.conflict += self.attempt_conflict
+        self.stats.stall_events += self.attempt_stall_events
+        self.attempt_conflict = 0
+        self.attempt_stall_events = 0
 
     def _handle_abort(self) -> None:
         """The current attempt is dead: charge it to conflict time and
@@ -222,117 +246,124 @@ class Core:
         )
         restart = max(1, self.config.abort_cycles) + backoff
         self.cycle += restart
-        self.stats.conflict += restart
+        self.attempt_conflict += restart
+        self._flush_conflict_stats()
         self.in_txn = False
         self.restarting = True
         self.pc = 0
 
     # ------------------------------------------------------------------
-    # Instruction dispatch
+    # Instruction dispatch (over decoded tuples; see repro.sim.decode)
     # ------------------------------------------------------------------
     def _operand(self, operand) -> int:
+        """Resolve an undecoded Reg/Imm operand (kept for tests)."""
         if isinstance(operand, Reg):
             return self.regs.read(operand)
         assert isinstance(operand, Imm)
         return operand.value
 
-    def _operand_sym(self, operand):
-        if self.engine is not None and isinstance(operand, Reg):
-            return self.engine.reg_sym(operand)
-        return None
-
-    def _effective_addr(self, inst) -> int:
-        if inst.base is None:
-            return inst.addr
-        # Address calculation consumes the base register: a symbolic
-        # base is pinned with an equality constraint (§4.2).
-        if self.engine is not None:
-            self.engine.equality_constrain_sym(self.engine.reg_sym(inst.base))
-        return self.regs.read(inst.base) + inst.disp
-
-    def _execute(self, inst, program: Program) -> int:
-        """Execute one instruction; return its latency in cycles."""
+    def _execute(self, inst: tuple) -> int:
+        """Execute one decoded instruction; return its latency."""
         engine = self.engine
+        regs = self.regs.values
+        kind = inst[0]
         next_pc = self.pc + 1
         latency = 1
 
-        if isinstance(inst, Load):
-            addr = self._effective_addr(inst)
-            result = self.system.load(self.cid, addr, inst.size)
-            self.regs.write(inst.rd, result.value)
+        if kind == K_LOAD:
+            _, rd, addr, size, base, disp = inst
+            if base is not None:
+                # Address calculation consumes the base register: a
+                # symbolic base is pinned with an equality constraint
+                # (§4.2).
+                if engine is not None:
+                    engine.equality_constrain_sym(engine.reg_sym(base))
+                addr = regs[base] + disp
+            result = self.system.load(self.cid, addr, size)
+            regs[rd] = result.value
             if engine is not None:
-                engine.set_reg_sym(inst.rd, result.sym)
+                engine.set_reg_sym(rd, result.sym)
             latency = result.latency
-        elif isinstance(inst, Store):
-            addr = self._effective_addr(inst)
-            value = self._operand(inst.src)
-            sym = self._operand_sym(inst.src)
-            result = self.system.store(
-                self.cid, addr, inst.size, value, sym=sym
-            )
+        elif kind == K_STORE:
+            _, src_is_reg, src, addr, size, base, disp = inst
+            if base is not None:
+                if engine is not None:
+                    engine.equality_constrain_sym(engine.reg_sym(base))
+                addr = regs[base] + disp
+            if src_is_reg:
+                value = regs[src]
+                sym = engine.reg_sym(src) if engine is not None else None
+            else:
+                value = src
+                sym = None
+            result = self.system.store(self.cid, addr, size, value, sym=sym)
             latency = result.latency
-        elif isinstance(inst, Op):
-            rs1_val = self.regs.read(inst.rs1)
-            src2_val = self._operand(inst.src2)
-            self.regs.write(inst.rd, apply_op(inst.op, rs1_val, src2_val))
+        elif kind == K_OP:
+            _, op, rd, rs1, src2_is_reg, src2 = inst
+            rs1_val = regs[rs1]
+            src2_val = regs[src2] if src2_is_reg else src2
+            regs[rd] = apply_op(op, rs1_val, src2_val)
             if engine is not None:
                 engine.alu(
-                    inst.op,
-                    inst.rd,
-                    engine.reg_sym(inst.rs1),
-                    self._operand_sym(inst.src2),
+                    op,
+                    rd,
+                    engine.reg_sym(rs1),
+                    engine.reg_sym(src2) if src2_is_reg else None,
                     rs1_val,
                     src2_val,
                 )
-        elif isinstance(inst, Mov):
-            self.regs.write(inst.rd, self.regs.read(inst.rs))
+        elif kind == K_MOV:
+            _, rd, rs = inst
+            regs[rd] = regs[rs]
             if engine is not None:
-                engine.set_reg_sym(inst.rd, engine.reg_sym(inst.rs))
-        elif isinstance(inst, Movi):
-            self.regs.write(inst.rd, inst.value)
+                engine.set_reg_sym(rd, engine.reg_sym(rs))
+        elif kind == K_MOVI:
+            _, rd, value = inst
+            regs[rd] = value
             if engine is not None:
-                engine.set_reg_sym(inst.rd, None)
-        elif isinstance(inst, Cmp):
-            lhs = self.regs.read(inst.rs1)
-            rhs = self._operand(inst.src2)
+                engine.set_reg_sym(rd, None)
+        elif kind == K_CMP:
+            _, rs1, src2_is_reg, src2 = inst
+            lhs = regs[rs1]
+            rhs = regs[src2] if src2_is_reg else src2
             if engine is not None:
                 engine.on_cmp(
                     lhs,
                     rhs,
-                    engine.reg_sym(inst.rs1),
-                    self._operand_sym(inst.src2),
+                    engine.reg_sym(rs1),
+                    engine.reg_sym(src2) if src2_is_reg else None,
                 )
             else:
                 self.cc.set_concrete(lhs, rhs)
-        elif isinstance(inst, Branch):
-            lhs = self.regs.read(inst.rs1)
-            rhs = self._operand(inst.src2)
-            taken = evaluate_cond(inst.cond, lhs, rhs)
+        elif kind == K_BRANCH:
+            _, cond, rs1, src2_is_reg, src2, target = inst
+            lhs = regs[rs1]
+            rhs = regs[src2] if src2_is_reg else src2
+            taken = evaluate_cond(cond, lhs, rhs)
             if engine is not None:
                 engine.on_branch(
-                    inst.cond,
-                    engine.reg_sym(inst.rs1),
-                    self._operand_sym(inst.src2),
+                    cond,
+                    engine.reg_sym(rs1),
+                    engine.reg_sym(src2) if src2_is_reg else None,
                     lhs,
                     rhs,
                     taken,
                 )
             if taken:
-                next_pc = program.target(inst.target)
-        elif isinstance(inst, Bcc):
-            taken = self.cc.evaluate(inst.cond)
+                next_pc = target
+        elif kind == K_BCC:
+            _, cond, target = inst
+            taken = self.cc.evaluate(cond)
             if engine is not None:
-                engine.on_bcc(inst.cond, taken)
+                engine.on_bcc(cond, taken)
             if taken:
-                next_pc = program.target(inst.target)
-        elif isinstance(inst, Jump):
-            next_pc = program.target(inst.target)
-        elif isinstance(inst, Nop):
-            latency = inst.cycles
-        elif isinstance(inst, Halt):
-            next_pc = len(program)
-        else:  # pragma: no cover - exhaustive
-            raise TypeError(f"unknown instruction: {inst!r}")
+                next_pc = target
+        elif kind == K_JUMP:
+            next_pc = inst[1]
+        elif kind == K_NOP:
+            latency = inst[1]
+        else:  # K_HALT (decode is exhaustive over instruction types)
+            next_pc = inst[1]
 
         self.pc = next_pc
         return latency

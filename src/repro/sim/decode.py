@@ -1,0 +1,124 @@
+"""One-time instruction decode for the interpreter hot path.
+
+The interpreter executes the same (immutable) :class:`Program` objects
+millions of times — every transaction attempt, every retry, every
+core.  Dispatching on ``isinstance`` chains and re-reading dataclass
+attributes per cycle is the single largest cost in the simulator, so
+each program is decoded exactly once into a flat list of plain tuples:
+
+``decoded[pc] = (kind, *operands)``
+
+where *kind* is a small integer and the operands are fully resolved —
+immediates unwrapped, register operands reduced to bare indices with
+an ``is_reg`` flag, and branch targets resolved from label names to
+instruction indices at decode time.
+
+The decoded form is attached to the ``Program`` instance itself (via
+``object.__setattr__``; programs are frozen dataclasses) so it is
+shared by every core and every attempt, and its lifetime is exactly
+the program's — no global cache to invalidate.
+
+Decoding is purely a representation change: the interpreter's
+semantics per kind are identical to the dataclass-dispatch ones, which
+is what the PR 2 repair oracle (an independent interpreter over the
+*undecoded* instructions) verifies on every checked commit.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    Bcc,
+    Branch,
+    Cmp,
+    Halt,
+    Imm,
+    Jump,
+    Load,
+    Mov,
+    Movi,
+    Nop,
+    Op,
+    Reg,
+    Store,
+)
+from repro.isa.program import Program
+
+# Decoded instruction kinds (tuple slot 0).
+K_LOAD = 0
+K_STORE = 1
+K_OP = 2
+K_MOV = 3
+K_MOVI = 4
+K_CMP = 5
+K_BRANCH = 6
+K_BCC = 7
+K_JUMP = 8
+K_NOP = 9
+K_HALT = 10
+
+
+def _operand_pair(operand) -> tuple[bool, int]:
+    """Collapse a Reg/Imm operand into ``(is_reg, index_or_value)``."""
+    if isinstance(operand, Reg):
+        return True, int(operand)
+    assert isinstance(operand, Imm)
+    return False, operand.value
+
+
+def decode_program(program: Program) -> list[tuple]:
+    """Decode every instruction of *program* into flat tuples."""
+    end = len(program)
+    decoded: list[tuple] = []
+    for inst in program.instructions:
+        if isinstance(inst, Load):
+            base = None if inst.base is None else int(inst.base)
+            decoded.append(
+                (K_LOAD, int(inst.rd), inst.addr, inst.size, base, inst.disp)
+            )
+        elif isinstance(inst, Store):
+            base = None if inst.base is None else int(inst.base)
+            src_is_reg, src = _operand_pair(inst.src)
+            decoded.append(
+                (K_STORE, src_is_reg, src, inst.addr, inst.size, base,
+                 inst.disp)
+            )
+        elif isinstance(inst, Op):
+            src2_is_reg, src2 = _operand_pair(inst.src2)
+            decoded.append(
+                (K_OP, inst.op, int(inst.rd), int(inst.rs1), src2_is_reg,
+                 src2)
+            )
+        elif isinstance(inst, Mov):
+            decoded.append((K_MOV, int(inst.rd), int(inst.rs)))
+        elif isinstance(inst, Movi):
+            decoded.append((K_MOVI, int(inst.rd), inst.value))
+        elif isinstance(inst, Cmp):
+            src2_is_reg, src2 = _operand_pair(inst.src2)
+            decoded.append((K_CMP, int(inst.rs1), src2_is_reg, src2))
+        elif isinstance(inst, Branch):
+            src2_is_reg, src2 = _operand_pair(inst.src2)
+            decoded.append(
+                (K_BRANCH, inst.cond, int(inst.rs1), src2_is_reg, src2,
+                 program.target(inst.target))
+            )
+        elif isinstance(inst, Bcc):
+            decoded.append((K_BCC, inst.cond, program.target(inst.target)))
+        elif isinstance(inst, Jump):
+            decoded.append((K_JUMP, program.target(inst.target)))
+        elif isinstance(inst, Nop):
+            decoded.append((K_NOP, inst.cycles))
+        elif isinstance(inst, Halt):
+            decoded.append((K_HALT, end))
+        else:
+            raise TypeError(f"unknown instruction: {inst!r}")
+    return decoded
+
+
+def decoded_for(program: Program) -> list[tuple]:
+    """Return the cached decode of *program*, decoding on first use."""
+    try:
+        return program._decoded  # type: ignore[attr-defined]
+    except AttributeError:
+        decoded = decode_program(program)
+        object.__setattr__(program, "_decoded", decoded)
+        return decoded

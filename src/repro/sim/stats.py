@@ -24,7 +24,7 @@ from typing import Optional
 from repro.core.engine import TxnRetconSample
 
 
-@dataclass
+@dataclass(slots=True)
 class TxnSample:
     """One committed transaction's timing plus RETCON structure usage."""
 
@@ -33,9 +33,16 @@ class TxnSample:
     retcon: Optional[TxnRetconSample] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreStats:
-    """Cycle attribution and event counts for one core."""
+    """Cycle attribution and event counts for one core.
+
+    Counters are written at transaction boundaries only: the
+    interpreter accumulates per-attempt cycles in core-local variables
+    (``attempt_busy``/``attempt_conflict``) and flushes them here on
+    commit or abort, so the per-instruction path never touches this
+    object.  ``slots=True`` keeps the flush itself cheap.
+    """
 
     busy: int = 0
     conflict: int = 0
@@ -57,7 +64,7 @@ class CoreStats:
         return self.busy + self.conflict + self.barrier + self.other
 
 
-@dataclass
+@dataclass(slots=True)
 class _Agg:
     """Streaming average/maximum."""
 

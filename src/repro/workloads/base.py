@@ -77,6 +77,8 @@ def zipf_indices(
     """Draw *count* indices from a Zipf-like distribution over
     [0, universe).  Index 0 is the most popular (the "None object").
     """
+    if universe < 1:
+        raise ValueError(f"universe must be >= 1, got {universe}")
     weights = [1.0 / ((i + 1) ** skew) for i in range(universe)]
     total = sum(weights)
     cumulative = []
@@ -84,6 +86,10 @@ def zipf_indices(
     for weight in weights:
         acc += weight / total
         cumulative.append(acc)
+    # Floating-point rounding can leave the CDF tail just below 1.0,
+    # which would bias a draw of u in (cumulative[-1], 1.0) toward the
+    # last bucket by fiat rather than by weight; pin it exactly.
+    cumulative[-1] = 1.0
     out = []
     for _ in range(count):
         u = rng.random()

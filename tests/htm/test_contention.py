@@ -29,6 +29,26 @@ class TestTimestampPolicy:
                                 requester_nontx=True)
         assert r.action is Action.ABORT_REMOTE
 
+    def test_equal_timestamps_lower_core_id_wins(self):
+        """Regression: two txns that begin on the same cycle share a
+        timestamp; without the core-id tie-break both directions
+        resolve to STALL and only the deadlock detector's abort can
+        untangle them."""
+        r = self.policy.resolve(requester_ts=3, holder_ts=3,
+                                requester_nontx=False,
+                                requester_id=0, holder_id=1)
+        assert r.action is Action.ABORT_REMOTE
+        r = self.policy.resolve(requester_ts=3, holder_ts=3,
+                                requester_nontx=False,
+                                requester_id=1, holder_id=0)
+        assert r.action is Action.STALL
+
+    def test_equal_timestamps_without_ids_stall(self):
+        # Callers that don't know core ids keep the old behavior.
+        r = self.policy.resolve(requester_ts=3, holder_ts=3,
+                                requester_nontx=False)
+        assert r.action is Action.STALL
+
 
 class TestFigure2Policies:
     def test_requester_aborts(self):

@@ -103,6 +103,28 @@ class TestConflictResolution:
         assert system.poll_doomed(0) == "conflict"
         assert memory.read(ADDR) == 7
 
+    def test_equal_timestamps_resolve_without_deadlock_abort(self):
+        """Regression: two transactions with the *same* timestamp must
+        resolve via the policy's core-id tie-break, not by stalling in
+        both directions until the deadlock detector shoots one."""
+        system, _ = make_system()
+        system.begin(0)
+        system.begin(1)
+        system.ctx[0].ts = system.ctx[1].ts = 7  # began on the same cycle
+        system.store(0, ADDR, 8, 1)
+        system.store(1, ADDR + 64, 8, 2)
+        with pytest.raises(StallRetry):
+            # Higher-id requester: core 0 is effectively older under
+            # the (ts, core id) order, so core 1 waits.
+            system.store(1, ADDR, 8, 3)
+        # Lower-id requester wins the tie outright — core 1 is doomed
+        # by the policy, not by a wait-cycle break.
+        system.store(0, ADDR + 64, 8, 4)
+        assert system.poll_doomed(1) == "conflict"
+        assert system.poll_doomed(0) is None
+        system.commit(0)
+        assert system.stats.core(0).commits == 1
+
     def test_stall_deadlock_broken_by_aborting_younger(self):
         system, _ = make_system("eager-stall")
         system.begin(0)
@@ -114,6 +136,41 @@ class TestConflictResolution:
         # 0 requesting 1's block would deadlock: the younger dies.
         system.store(0, ADDR + 64, 8, 4)
         assert system.poll_doomed(1) == "conflict"
+
+    def test_stale_wait_edge_cleared_when_holder_commits(self):
+        """Regression: an edge added on STALL must die with the
+        holder's transaction, whichever way it ends — not survive
+        until the stalled requester happens to retry."""
+        system, _ = make_system()
+        system.begin(1)
+        system.store(1, ADDR, 8, 1)
+        system.begin(2)
+        system.store(2, ADDR + 64, 8, 2)
+        with pytest.raises(StallRetry):
+            system.store(2, ADDR, 8, 3)  # 2 waits on 1
+        assert system._waiting_on == {2: 1}
+        system.commit(1)  # the holder leaves via its own commit
+        assert 2 not in system._waiting_on
+
+        # Pre-fix, the stale 2->1 edge made core 1's next (younger)
+        # transaction see a phantom cycle through core 2 and abort
+        # itself instead of stalling.
+        system.begin(1)
+        with pytest.raises(StallRetry):
+            system.store(1, ADDR + 64, 8, 4)
+        assert system.ctx[1].active
+        assert system.poll_doomed(2) is None
+        assert system.stats.core(1).aborts == {}
+
+    def test_stale_wait_edge_cleared_when_holder_is_doomed(self):
+        system, _ = make_system()
+        system.begin(1)
+        system.store(1, ADDR, 8, 1)
+        system.begin(2)
+        with pytest.raises(StallRetry):
+            system.store(2, ADDR, 8, 3)  # 2 waits on 1
+        system._doom(1, reason="conflict")  # holder aborted remotely
+        assert 2 not in system._waiting_on
 
 
 class TestVersioning:

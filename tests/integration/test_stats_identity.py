@@ -1,0 +1,59 @@
+"""The optimized simulator must be *bit-identical* to the seed build.
+
+The four fixtures under tests/golden/ were captured from the
+pre-optimization code (before the decode cache, flat-dict block index,
+SymValue interning, and stats batching landed).  Every optimization in
+the hot path is required to be observationally transparent: same
+cycles, same commits/aborts, same per-core stats, byte for byte.
+
+CI's oracle-smoke job runs this file on its own so a perf-motivated
+change that drifts the stats fails loudly, not as one line in the
+full-suite noise.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.runner import run_workload
+
+GOLDEN = Path(__file__).resolve().parents[1] / "golden"
+
+POINTS = [
+    ("python_opt", 1),
+    ("python_opt", 2),
+    ("genome-sz", 1),
+    ("genome-sz", 2),
+]
+
+
+def fixture_path(workload: str, seed: int) -> Path:
+    return GOLDEN / f"stats_{workload.replace('-', '_')}_retcon_seed{seed}.json"
+
+
+class TestGoldenStatsIdentity:
+    @pytest.mark.parametrize("workload,seed", POINTS)
+    def test_stats_match_pre_optimization_fixture(self, workload, seed):
+        result = run_workload(
+            workload,
+            "retcon",
+            ncores=4,
+            seed=seed,
+            scale=0.1,
+            oracle=True,
+            golden=True,
+        )
+        got = json.dumps(result.to_dict(), sort_keys=True)
+        want = json.dumps(
+            json.loads(fixture_path(workload, seed).read_text()),
+            sort_keys=True,
+        )
+        assert got == want, (
+            f"{workload} seed={seed}: stats drifted from the "
+            f"pre-optimization golden fixture {fixture_path(workload, seed)}"
+        )
+
+    def test_fixtures_present(self):
+        for workload, seed in POINTS:
+            assert fixture_path(workload, seed).is_file()

@@ -1,5 +1,7 @@
 """Set-associative cache model: LRU, speculative-bit victim policy."""
 
+import pytest
+
 from repro.mem.cache import PermissionsOnlyCache, SetAssocCache
 
 
@@ -58,6 +60,27 @@ class TestReplacement:
         _, evicted = cache.insert(2, False)
         assert evicted is not None and evicted.speculative
 
+    def test_all_speculative_set_evicts_lru_speculative(self):
+        """Regression: a set where *every* line is speculative must
+        pick the LRU speculative victim (spill path), never raise."""
+        cache = make_cache(sets=1, assoc=4)
+        for block in range(4):
+            line, _ = cache.insert(block, False)
+            line.spec_written = True
+        cache.lookup(0)  # block 1 is now the LRU speculative line
+        line, evicted = cache.insert(4, False)
+        assert line.block == 4
+        assert evicted is not None
+        assert evicted.block == 1 and evicted.speculative
+        assert cache.resident_blocks() == [0, 2, 3, 4]
+
+    def test_eviction_from_misconfigured_cache_raises_named_error(self):
+        from repro.mem.cache import NoEvictionCandidate
+
+        cache = make_cache(sets=1, assoc=1)
+        with pytest.raises(NoEvictionCandidate):
+            cache._pick_victim({})
+
 
 class TestInvalidation:
     def test_invalidate_returns_line_with_bits(self):
@@ -90,6 +113,14 @@ class TestSpeculativeBits:
         assert spec == {0, 2}
         cache.clear_speculative_bits()
         assert not list(cache.speculative_lines())
+
+    def test_clear_speculative_blocks_is_targeted(self):
+        cache = make_cache()
+        for block in range(3):
+            line, _ = cache.insert(block, False)
+            line.spec_read = True
+        cache.clear_speculative_blocks([0, 7])  # 7 absent: no-op
+        assert {line.block for line in cache.speculative_lines()} == {1, 2}
 
 
 class TestPermissionsOnlyCache:

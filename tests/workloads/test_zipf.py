@@ -1,0 +1,73 @@
+"""Zipf index sampler: bounds and shape properties.
+
+Regression for a CDF tail off-by-one: floating-point rounding when
+normalising the weights can leave ``cumulative[-1]`` a hair below 1.0.
+A draw of ``u`` above that tail must still land on a valid index
+(< universe), and the distribution must stay monotone: index i is
+never less popular than index i+1.
+"""
+
+import random
+
+import pytest
+
+from repro.workloads.base import make_rng, zipf_indices
+
+
+class TailRng(random.Random):
+    """RNG whose random() returns values pinned at or near 1.0."""
+
+    def __init__(self, values):
+        super().__init__(0)
+        self._values = list(values)
+
+    def random(self):
+        return self._values.pop(0)
+
+
+class TestBounds:
+    @pytest.mark.parametrize("universe", [1, 2, 7, 100])
+    def test_all_indices_in_range(self, universe):
+        rng = make_rng(3)
+        out = zipf_indices(rng, 500, universe)
+        assert len(out) == 500
+        assert all(0 <= i < universe for i in out)
+
+    def test_draws_at_the_cdf_tail_stay_in_range(self):
+        # 1.0 - 2**-53 is representable and can exceed a rounded-down
+        # cumulative[-1]; 1.0 itself cannot be returned by
+        # random.random() but bounds the search from above.
+        tail = [1.0 - 2**-53] * 4
+        out = zipf_indices(TailRng(tail), 4, universe=10)
+        assert all(0 <= i < 10 for i in out)
+        # The tail draw maps to the last (least popular) bucket.
+        assert out == [9, 9, 9, 9]
+
+    def test_universe_of_one_always_returns_zero(self):
+        out = zipf_indices(make_rng(1), 50, universe=1)
+        assert out == [0] * 50
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ValueError, match="universe"):
+            zipf_indices(make_rng(1), 10, universe=0)
+
+
+class TestShape:
+    def test_frequencies_monotone_non_increasing(self):
+        universe = 8
+        out = zipf_indices(make_rng(7), 20_000, universe)
+        counts = [out.count(i) for i in range(universe)]
+        # Zipf: index 0 is the most popular, and popularity only
+        # decreases with index.  20k draws over 8 buckets keeps the
+        # sampling noise far below the gaps between adjacent weights.
+        assert counts == sorted(counts, reverse=True)
+        assert counts[0] > counts[-1]
+
+    def test_bucket_widths_monotone_non_increasing(self):
+        # The CDF increments themselves (exact, no sampling noise).
+        universe = 32
+        skew = 1.1
+        weights = [1.0 / ((i + 1) ** skew) for i in range(universe)]
+        total = sum(weights)
+        widths = [w / total for w in weights]
+        assert widths == sorted(widths, reverse=True)
