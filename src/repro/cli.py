@@ -13,6 +13,8 @@ Examples::
     python -m repro run python_opt --check --trace=50
     python -m repro check --smoke --jobs 2
     python -m repro profile -o BENCH_pr3.json
+    python -m repro fuzz --smoke --jobs 2
+    python -m repro fuzz --minutes 10 --backends eager lazy-vb retcon datm
 
 Simulation commands accept ``--jobs N`` (default ``$REPRO_JOBS`` or
 all cores) to fan independent points out over worker processes, and
@@ -81,6 +83,12 @@ def _cmd_list(_args) -> int:
         print(f"  {name:18s} {WORKLOADS[name].spec.description}")
     print("\nTM systems: eager, eager-abort, eager-stall, lazy, "
           "lazy-vb, datm, retcon, retcon-fwd")
+    from repro.fuzz.gen import FUZZ_PROFILES
+
+    print(
+        "\nFuzz profiles (repro fuzz, also runnable as workloads): "
+        + ", ".join(FUZZ_PROFILES)
+    )
     return 0
 
 
@@ -246,6 +254,64 @@ def _cmd_check(args) -> int:
           f"(oracle matrix {'ok' if matrix_ok else 'FAILED'}, "
           f"fault matrix {'ok' if faults_ok else 'FAILED'})")
     return 0 if ok else 1
+
+
+def _cmd_fuzz(args) -> int:
+    """``repro fuzz``: differential fuzzing campaigns.
+
+    ``--smoke`` runs the fixed CI batch (210 programs: seeds 0..69 on
+    each of 3 profiles across eager/lazy-vb/retcon); ``--minutes N``
+    fuzzes fresh seeds (resuming past the ``.repro-fuzz/`` corpus)
+    until the time budget runs out; the default is one batch of
+    ``--seeds`` new seeds per profile.
+    """
+    from pathlib import Path
+
+    from repro.fuzz.campaign import (
+        CampaignOptions,
+        run_campaign,
+        smoke_options,
+    )
+    from repro.fuzz.gen import FUZZ_PROFILES
+
+    for profile in args.profiles:
+        if profile not in FUZZ_PROFILES:
+            print(
+                f"unknown fuzz profile {profile!r}; choose from "
+                f"{sorted(FUZZ_PROFILES)}",
+                file=sys.stderr,
+            )
+            return 2
+    common = dict(
+        profiles=tuple(args.profiles),
+        backends=tuple(args.backends),
+        nthreads=args.cores,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        refresh=args.refresh,
+        shrink=not args.no_shrink,
+        emit=not args.no_emit,
+        fault=args.fault,
+        corpus_root=Path(args.corpus),
+    )
+    if args.smoke:
+        opts = smoke_options(**common)
+    else:
+        opts = CampaignOptions(
+            seed_start=args.seed_start,
+            seeds=args.seeds,
+            minutes=args.minutes,
+            **common,
+        )
+    report = run_campaign(opts)
+    print(report.summary())
+    for profile, seed in report.diverging:
+        print(f"  diverging: profile={profile} seed={seed}")
+    for line in report.shrink_summaries:
+        print(f"  {line}")
+    for path in report.emitted:
+        print(f"  regression: {path}")
+    return 0 if report.ok else 1
 
 
 def _cmd_compare(args) -> int:
@@ -600,6 +666,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON payload to FILE (e.g. BENCH_pr3.json)",
     )
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random transactional programs "
+             "cross-checked on several backends against a sequential "
+             "golden run, with automatic shrinking of divergences",
+    )
+    fuzz.add_argument(
+        "--smoke", action="store_true",
+        help="fixed CI batch: seeds 0..69 on every profile (210 "
+             "programs across 3 backends)",
+    )
+    fuzz.add_argument(
+        "--minutes", type=float, default=None, metavar="N",
+        help="fuzz fresh seeds until N minutes elapse (resumes past "
+             "the corpus high-water mark)",
+    )
+    fuzz.add_argument(
+        "--backends", nargs="+", default=["eager", "lazy-vb", "retcon"],
+        help="TM systems to cross-check (default: eager lazy-vb retcon)",
+    )
+    fuzz.add_argument(
+        "--profiles", nargs="+",
+        default=["fuzz-mixed", "fuzz-rmw", "fuzz-branchy"],
+        help="generator profiles to draw programs from",
+    )
+    fuzz.add_argument(
+        "--seed-start", type=int, default=None,
+        help="first seed (default: resume past the corpus)",
+    )
+    fuzz.add_argument(
+        "--seeds", type=int, default=70,
+        help="seeds per profile in one batch (default 70)",
+    )
+    fuzz.add_argument("--cores", type=int, default=4,
+                      help="threads per generated program")
+    fuzz.add_argument(
+        "--fault", default=None, metavar="NAME",
+        help="inject a check/faults.py fault (shrinker exercise; the "
+             "campaign is expected to go red)",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="report divergences without minimizing them",
+    )
+    fuzz.add_argument(
+        "--no-emit", action="store_true",
+        help="shrink but do not write regression test files",
+    )
+    fuzz.add_argument(
+        "--corpus", default=".repro-fuzz",
+        help="corpus directory (default .repro-fuzz)",
+    )
+    _add_engine_args(fuzz)
+
     check = sub.add_parser(
         "check",
         help="correctness oracle: replay every commit, diff against a "
@@ -627,6 +747,7 @@ COMMANDS = {
     "experiments": _cmd_experiments,
     "sweep": _cmd_sweep,
     "check": _cmd_check,
+    "fuzz": _cmd_fuzz,
     "profile": _cmd_profile,
 }
 

@@ -33,6 +33,10 @@ class Point:
     config: Optional[MachineConfig] = None
     #: attach the correctness oracle + golden-run differ to the run
     check: bool = False
+    #: extra cache-key salt for points whose workload is parameterized
+    #: beyond its registry name (the fuzzer salts points with the
+    #: generator-config hash so profile changes invalidate the cache)
+    tag: str = ""
 
     def resolved_config(self) -> MachineConfig:
         """The machine configuration this point actually runs with."""
@@ -61,6 +65,7 @@ class Point:
             # part of the cache key: a checked run carries oracle/golden
             # fields an unchecked run lacks
             "check": self.check,
+            "tag": self.tag,
         }
 
     def label(self) -> str:
@@ -69,6 +74,8 @@ class Point:
             extras = f" config={point_key(self, version='')[:8]}"
         if self.check:
             extras += " +check"
+        if self.tag:
+            extras += f" tag={self.tag}"
         return (
             f"{self.workload}/{self.system} ncores={self.ncores} "
             f"seed={self.seed} scale={self.scale}{extras}"
@@ -110,6 +117,8 @@ class ExperimentSpec:
     description: str = ""
     #: run every point with the correctness oracle + golden differ
     check: bool = False
+    #: extra cache-key salt propagated to every point (see Point.tag)
+    tag: str = ""
 
     def __post_init__(self) -> None:
         # Tolerate lists/generators from callers; store tuples so the
@@ -130,6 +139,7 @@ class ExperimentSpec:
                 scale=self.scale,
                 config=self.config,
                 check=self.check,
+                tag=self.tag,
             )
             for workload in self.workloads
             for ncores in self.core_counts

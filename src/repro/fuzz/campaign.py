@@ -1,0 +1,305 @@
+"""Fuzz campaigns: seed batches through the engine plus deep checks.
+
+A campaign screens a seed range for each profile in two phases:
+
+* **engine phase** — every (profile, seed, backend) triple becomes an
+  experiment-engine :class:`Point` with ``check=True`` and the
+  profile's generator-config hash as the cache-key tag.  This buys the
+  heavy simulation work multiprocess fan-out and ``.repro-cache/``
+  result caching for free, and screens the oracle, golden-invariant,
+  and workload-invariant signals.
+* **deep phase** — each (profile, seed) that is not already recorded
+  clean in the ``.repro-fuzz/`` corpus re-runs in-process through
+  :func:`repro.fuzz.diff.run_case`, adding the signals the engine
+  cannot see: commit-order serializability replay, strict golden
+  memory equality (commutative profiles), and traced stats sanity.
+  Clean verdicts are recorded in the corpus so the next campaign only
+  pays for new seeds.
+
+On divergence the campaign saves the full case to the corpus, runs
+the ddmin shrinker, emits a regression test under
+``tests/fuzz/regressions/``, and reports the reproduction recipe
+(profile, seed, backends) — the same seed deterministically re-expands
+to the same program.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.exp.cache import ResultCache
+from repro.exp.engine import run_points, stderr_progress
+from repro.exp.spec import ExperimentSpec
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.diff import DEFAULT_BACKENDS, run_case
+from repro.fuzz.gen import FUZZ_PROFILES, config_hash, generate_case
+from repro.fuzz.shrink import (
+    REGRESSION_DIR,
+    divergence_predicate,
+    emit_regression,
+    shrink_case,
+)
+
+#: seeds per profile in one --smoke run: 3 profiles x 70 = 210
+#: programs (the ISSUE acceptance floor is 200 across >= 3 backends)
+SMOKE_SEEDS = 70
+
+#: seeds per batch when fuzzing under a --minutes time budget
+BATCH_SEEDS = 25
+
+
+@dataclass
+class CampaignOptions:
+    """Everything a fuzz campaign run is parameterized by."""
+
+    profiles: tuple = tuple(FUZZ_PROFILES)
+    backends: tuple = DEFAULT_BACKENDS
+    nthreads: int = 4
+    seed_start: Optional[int] = None  # None: resume past the corpus
+    seeds: int = SMOKE_SEEDS
+    minutes: Optional[float] = None
+    jobs: Optional[int] = None
+    use_cache: bool = True
+    refresh: bool = False
+    shrink: bool = True
+    emit: bool = True
+    #: inject a check/faults.py fault (shrinker exercise; expect red)
+    fault: Optional[str] = None
+    fault_seed: int = 0
+    corpus_root: Path = Path(".repro-fuzz")
+    regression_dir: Path = REGRESSION_DIR
+    quiet: bool = False
+
+
+@dataclass
+class CampaignReport:
+    """What a campaign did."""
+
+    programs: int = 0
+    skipped_clean: int = 0
+    diverging: list = field(default_factory=list)  # (profile, seed)
+    divergences: list = field(default_factory=list)
+    emitted: list = field(default_factory=list)  # Paths
+    shrink_summaries: list = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.diverging
+
+    def summary(self) -> str:
+        verdict = (
+            "all clean"
+            if self.ok
+            else f"{len(self.diverging)} diverging cases"
+        )
+        return (
+            f"fuzz: {self.programs} programs screened "
+            f"({self.skipped_clean} already clean in corpus), "
+            f"{verdict}, {self.elapsed:.1f}s"
+        )
+
+
+def _say(opts: CampaignOptions, message: str) -> None:
+    if not opts.quiet:
+        print(message, file=sys.stderr, flush=True)
+
+
+def _seed_range(
+    opts: CampaignOptions, corpus: Corpus, profile: str, count: int
+) -> list[int]:
+    config = FUZZ_PROFILES[profile]
+    start = (
+        opts.seed_start
+        if opts.seed_start is not None
+        else corpus.next_seed(config)
+    )
+    return list(range(start, start + count))
+
+
+def _engine_phase(
+    opts: CampaignOptions, batches: dict[str, list[int]]
+) -> list:
+    """Run every (profile, seed, backend) point through the engine.
+
+    Returns engine-visible failures as (profile, seed, detail)."""
+    points = []
+    for profile, seeds in batches.items():
+        spec = ExperimentSpec(
+            name=f"fuzz-{profile}",
+            workloads=(profile,),
+            systems=tuple(opts.backends),
+            core_counts=(opts.nthreads,),
+            seeds=tuple(seeds),
+            scale=1.0,
+            check=True,
+            tag=config_hash(FUZZ_PROFILES[profile]),
+        )
+        points.extend(spec.points())
+    results = run_points(
+        points,
+        jobs=opts.jobs,
+        cache=ResultCache() if opts.use_cache else None,
+        refresh=opts.refresh,
+        progress=None if opts.quiet else stderr_progress,
+    )
+    failures = []
+    for point, result in results.items():
+        if not result.check_ok:
+            details = [inv.name for inv in result.failed_invariants()]
+            if not result.oracle_ok:
+                details.append(
+                    f"{len(result.oracle_violations)} oracle violations"
+                )
+            if not result.golden_ok:
+                details.append("golden diff failed")
+            failures.append(
+                (point.workload, point.seed, ", ".join(details))
+            )
+    return failures
+
+
+def _deep_phase(
+    opts: CampaignOptions,
+    corpus: Corpus,
+    batches: dict[str, list[int]],
+    report: CampaignReport,
+) -> None:
+    """Differentially execute every non-clean seed; handle divergences."""
+    for profile, seeds in batches.items():
+        config = FUZZ_PROFILES[profile]
+        for seed in seeds:
+            if opts.fault is None and corpus.is_clean(
+                config, seed, opts.backends, opts.nthreads
+            ):
+                report.skipped_clean += 1
+                continue
+            case = generate_case(
+                seed, config, nthreads=opts.nthreads, origin=profile
+            )
+            outcome = run_case(
+                case,
+                backends=opts.backends,
+                fault=opts.fault,
+                fault_seed=opts.fault_seed,
+            )
+            report.programs += 1
+            if opts.fault is None:
+                corpus.record(
+                    config,
+                    seed,
+                    outcome.ok,
+                    opts.backends,
+                    opts.nthreads,
+                    divergences=outcome.divergences,
+                )
+            if outcome.ok:
+                continue
+            report.diverging.append((profile, seed))
+            report.divergences.extend(outcome.divergences)
+            _say(opts, f"DIVERGENCE {profile} seed={seed}")
+            for div in outcome.divergences:
+                _say(opts, f"  {div}")
+            _say(
+                opts,
+                f"  reproduce: repro fuzz --profiles {profile} "
+                f"--seed-start {seed} --seeds 1 --backends "
+                f"{' '.join(opts.backends)}"
+                + (f" --fault {opts.fault}" if opts.fault else ""),
+            )
+            corpus.save_diverging(case, outcome.divergences)
+            if opts.shrink:
+                _handle_shrink(opts, case, report)
+
+
+def _handle_shrink(
+    opts: CampaignOptions, case, report: CampaignReport
+) -> None:
+    predicate = divergence_predicate(
+        backends=opts.backends,
+        fault=opts.fault,
+        fault_seed=opts.fault_seed,
+    )
+    result = shrink_case(case, predicate)
+    if result is None:  # did not reproduce under the predicate
+        return
+    report.shrink_summaries.append(result.summary())
+    _say(opts, f"  {result.summary()}")
+    if opts.emit:
+        outcome = run_case(
+            result.case,
+            backends=opts.backends,
+            fault=opts.fault,
+            fault_seed=opts.fault_seed,
+        )
+        path = emit_regression(
+            result.case,
+            outcome.divergences,
+            backends=opts.backends,
+            fault=opts.fault,
+            directory=opts.regression_dir,
+        )
+        report.emitted.append(path)
+        _say(opts, f"  regression written: {path}")
+
+
+def run_campaign(opts: CampaignOptions) -> CampaignReport:
+    """Run one fuzz campaign (one seed range, or --minutes batches)."""
+    started = time.perf_counter()
+    corpus = Corpus(opts.corpus_root)
+    report = CampaignReport()
+
+    deadline = (
+        started + opts.minutes * 60.0
+        if opts.minutes is not None
+        else None
+    )
+    batch_size = opts.seeds if deadline is None else BATCH_SEEDS
+    first = True
+    while first or (
+        deadline is not None and time.perf_counter() < deadline
+    ):
+        batches = {
+            profile: _seed_range(opts, corpus, profile, batch_size)
+            for profile in opts.profiles
+        }
+        for profile, seeds in batches.items():
+            _say(
+                opts,
+                f"fuzz {profile}: seeds {seeds[0]}..{seeds[-1]} on "
+                f"{'/'.join(opts.backends)} "
+                f"(cfg {config_hash(FUZZ_PROFILES[profile])})",
+            )
+        # Fault exercises corrupt commits on purpose; the engine phase
+        # would just re-run the uncorrupted points, so skip it.
+        engine_failures = (
+            [] if opts.fault is not None else _engine_phase(opts, batches)
+        )
+        for profile, seed, detail in engine_failures:
+            _say(
+                opts,
+                f"ENGINE CHECK FAILED {profile} seed={seed}: {detail}",
+            )
+        _deep_phase(opts, corpus, batches, report)
+        corpus.flush()
+        if opts.seed_start is not None or opts.fault is not None:
+            # fixed ranges (and fault exercises, which skip the
+            # corpus) don't advance; one pass only
+            break
+        first = False
+        if deadline is None:
+            break
+    report.elapsed = time.perf_counter() - started
+    return report
+
+
+def smoke_options(**overrides) -> CampaignOptions:
+    """The CI configuration: fixed seeds 0..69 per profile (210
+    programs) across eager/lazy-vb/retcon, deterministic and cached."""
+    defaults = dict(seed_start=0, seeds=SMOKE_SEEDS)
+    defaults.update(overrides)
+    return CampaignOptions(**defaults)

@@ -1,0 +1,135 @@
+"""Corpus persistence for fuzz campaigns (``.repro-fuzz/``).
+
+One JSON file per generator configuration, named by
+:func:`repro.fuzz.gen.config_hash`, records every seed the
+differential executor has already screened — with the backends it was
+screened against — so repeated campaigns only pay for new seeds.
+Entries are scoped to ``repro.__version__``: a version bump discards
+the file (the simulator changed, prior verdicts are stale), mirroring
+the experiment engine's cache-key policy.
+
+Diverging cases are additionally saved whole (gene lists, not just
+seeds) under ``diverging/`` so a divergence survives generator
+changes that would re-expand the seed differently.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro import __version__
+from repro.fuzz.gen import FuzzCase, GeneratorConfig, config_hash
+
+DEFAULT_ROOT = Path(".repro-fuzz")
+
+
+class Corpus:
+    """Seed screening results for fuzz configurations."""
+
+    def __init__(self, root: Path = DEFAULT_ROOT) -> None:
+        self.root = Path(root)
+        self._loaded: dict[str, dict] = {}
+        self._dirty: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def _path(self, cfg: str) -> Path:
+        return self.root / f"{cfg}.json"
+
+    def _entries(self, config: GeneratorConfig) -> dict:
+        cfg = config_hash(config)
+        if cfg not in self._loaded:
+            data: dict = {"version": __version__, "seeds": {}}
+            path = self._path(cfg)
+            if path.is_file():
+                try:
+                    on_disk = json.loads(path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    on_disk = None
+                if (
+                    isinstance(on_disk, dict)
+                    and on_disk.get("version") == __version__
+                ):
+                    data = on_disk
+            self._loaded[cfg] = data
+        return self._loaded[cfg]
+
+    # ------------------------------------------------------------------
+    def is_clean(
+        self,
+        config: GeneratorConfig,
+        seed: int,
+        backends: tuple,
+        nthreads: int,
+    ) -> bool:
+        """True if *seed* already screened clean against (at least)
+        *backends* at this thread count."""
+        entry = self._entries(config)["seeds"].get(str(seed))
+        return bool(
+            entry
+            and entry.get("ok")
+            and entry.get("nthreads") == nthreads
+            and set(backends) <= set(entry.get("backends", ()))
+        )
+
+    def record(
+        self,
+        config: GeneratorConfig,
+        seed: int,
+        ok: bool,
+        backends: tuple,
+        nthreads: int,
+        divergences: Optional[list] = None,
+    ) -> None:
+        cfg = config_hash(config)
+        entry = {
+            "ok": ok,
+            "backends": sorted(backends),
+            "nthreads": nthreads,
+        }
+        if divergences:
+            entry["divergences"] = [d.to_dict() for d in divergences]
+        self._entries(config)["seeds"][str(seed)] = entry
+        self._dirty.add(cfg)
+
+    def next_seed(self, config: GeneratorConfig) -> int:
+        """One past the highest screened seed (for --minutes batches)."""
+        seeds = self._entries(config)["seeds"]
+        return max((int(s) for s in seeds), default=-1) + 1
+
+    def screened(self, config: GeneratorConfig) -> int:
+        return len(self._entries(config)["seeds"])
+
+    # ------------------------------------------------------------------
+    def save_diverging(self, case: FuzzCase, divergences: list) -> Path:
+        """Persist a diverging case in full under ``diverging/``."""
+        from repro.fuzz.shrink import case_id
+
+        directory = self.root / "diverging"
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"case_{case_id(case)}.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": __version__,
+                    "case": case.to_dict(),
+                    "divergences": [d.to_dict() for d in divergences],
+                },
+                indent=1,
+                sort_keys=True,
+            )
+        )
+        return path
+
+    def flush(self) -> None:
+        """Write every dirty configuration file atomically."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        for cfg in sorted(self._dirty):
+            path = self._path(cfg)
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(
+                json.dumps(self._loaded[cfg], indent=1, sort_keys=True)
+            )
+            tmp.replace(path)
+        self._dirty.clear()

@@ -1,0 +1,60 @@
+"""Registry adapter: fuzz profiles as first-class workloads.
+
+Registering the named profiles (``fuzz-mixed``, ``fuzz-rmw``,
+``fuzz-branchy``) in the Table 2 registry lets fuzz cases flow through
+every existing pipeline unchanged — ``repro run fuzz-mixed --check``,
+experiment-engine specs with multiprocess fan-out and result caching,
+the sweep matrix — because an (name, seed, scale) triple is exactly
+what :meth:`Workload.generate` already abstracts.  The profiles are
+*not* added to ``ALL_VARIANTS``, so figures and tables are untouched.
+
+``seed`` selects the generated program (the fuzzer's search
+dimension) and ``scale`` multiplies transactions per thread.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.gen import FUZZ_PROFILES, GeneratorConfig, generate_case
+from repro.workloads.base import GeneratedWorkload, Workload, WorkloadSpec
+
+
+class FuzzWorkload(Workload):
+    """One named generator profile exposed as a workload."""
+
+    def __init__(self, name: str, config: GeneratorConfig) -> None:
+        self.config = config
+        self.spec = WorkloadSpec(
+            name=name,
+            description=(
+                "randomized transactional programs (differential "
+                "fuzzing profile)"
+            ),
+            parameters=(
+                f"slots={config.shared_slots} "
+                f"skew={config.zipf_skew} "
+                f"txns/thread={config.txns_per_thread}"
+                + (" commutative" if config.commutative else "")
+            ),
+        )
+
+    def generate(
+        self, nthreads: int, seed: int = 1, scale: float = 1.0
+    ) -> GeneratedWorkload:
+        case = generate_case(
+            seed,
+            self.config,
+            nthreads=nthreads,
+            txns_per_thread=self.scaled(
+                self.config.txns_per_thread, scale
+            ),
+            origin=self.spec.name,
+        )
+        return case.build_workload()
+
+
+def fuzz_workloads() -> list[FuzzWorkload]:
+    """One workload per named profile (for the registry)."""
+    return [
+        FuzzWorkload(name, config)
+        for name, config in FUZZ_PROFILES.items()
+    ]

@@ -204,7 +204,10 @@ def run_workload(
         from repro.check.golden import golden_diff
 
         golden_dict = golden_diff(
-            generated, parallel.memory, config
+            generated,
+            parallel.memory,
+            config,
+            strict_memory=generated.strict_golden,
         ).to_dict()
     stats = parallel.stats
     return WorkloadResult(

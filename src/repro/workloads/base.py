@@ -36,6 +36,10 @@ class GeneratedWorkload:
     memory: MainMemory
     scripts: list[ThreadScript]
     checks: list = field(default_factory=list)  # list[callable(mem)->InvariantResult]
+    #: demand byte-identical final memory vs the sequential golden run
+    #: (only sound when the workload's final state is order-independent,
+    #: e.g. the fuzzer's commutative profile)
+    strict_golden: bool = False
 
     def check_invariants(self, memory: MainMemory) -> list[InvariantResult]:
         return [check(memory) for check in self.checks]

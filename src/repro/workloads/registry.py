@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.fuzz.workload import fuzz_workloads
 from repro.workloads.base import Workload
 from repro.workloads.bayes import BayesWorkload
 from repro.workloads.genome import GenomeWorkload
@@ -32,11 +33,15 @@ def _build_registry() -> dict[str, Workload]:
         PythonWorkload(optimized=False),
         PythonWorkload(optimized=True),
     ]
+    # Fuzz profiles ride along so generated programs flow through the
+    # engine/CLI like any workload; they are deliberately NOT part of
+    # ALL_VARIANTS (figures and tables are Table 2 only).
+    workloads.extend(fuzz_workloads())
     return {w.spec.name: w for w in workloads}
 
 
 WORKLOADS: dict[str, Workload] = _build_registry()
-"""All Table 2 workload variants, keyed by name."""
+"""All Table 2 workload variants plus the fuzz profiles, keyed by name."""
 
 #: the 8 base workloads of Figure 1
 FIGURE1_WORKLOADS = (

@@ -5,6 +5,10 @@ import pytest
 from repro.analysis import figures
 from repro.workloads.registry import ALL_VARIANTS, FIGURE1_WORKLOADS
 
+# Full-matrix figure reproduction: slow on a cold cache, so it runs in
+# CI's full-suite pass (`-m ""`) rather than the fast tier-1 default.
+pytestmark = pytest.mark.slow
+
 TINY = dict(ncores=2, seed=4, scale=0.05)
 
 

@@ -1,0 +1,100 @@
+"""Property tests for SymValue/Const/Loc hash-consing (PR 3 backfill).
+
+The interning caches introduced by the performance pass must be
+observationally transparent: structurally-equal nodes are the *same*
+object, hashes are stable however a node was reached, and nodes that
+differ only in access width are never conflated.
+"""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.symexpr import Const, Loc, const, loc
+from repro.core.symvalue import SymValue, sym_root
+
+addrs = st.integers(min_value=0, max_value=1 << 20)
+sizes = st.sampled_from([1, 2, 4, 8])
+deltas = st.integers(min_value=-(1 << 16), max_value=1 << 16)
+consts = st.integers(min_value=-(1 << 32), max_value=1 << 32)
+
+
+class TestStructuralIdentity:
+    @given(addrs, sizes)
+    def test_sym_root_interned(self, addr, size):
+        assert sym_root(addr, size) is sym_root(addr, size)
+
+    @given(consts)
+    def test_const_interned(self, value):
+        node = const(value)
+        assert node is const(value)
+        assert node == Const(value)
+
+    @given(addrs, sizes)
+    def test_loc_interned(self, addr, size):
+        node = loc(addr, size)
+        assert node is loc(addr, size)
+        assert node == Loc(addr, size)
+
+    @given(addrs, sizes, deltas)
+    def test_interned_equals_directly_constructed(self, addr, size, delta):
+        """Interning must not change equality semantics: an interned
+        node and a fresh structural twin compare equal and hash
+        equal."""
+        via_intern = sym_root(addr, size).shifted(delta)
+        direct = SymValue(addr, size, delta)
+        assert via_intern == direct
+        assert hash(via_intern) == hash(direct)
+
+
+class TestHashStability:
+    @given(addrs, sizes, deltas)
+    def test_hash_stable_across_construction_orders(
+        self, addr, size, delta
+    ):
+        """[root]+delta reached by any shift decomposition hashes (and
+        compares) the same."""
+        whole = sym_root(addr, size).shifted(delta)
+        rng = random.Random(delta)
+        split = rng.randint(-8, 8)
+        stepwise = (
+            sym_root(addr, size).shifted(split).shifted(delta - split)
+        )
+        assert stepwise == whole
+        assert hash(stepwise) == hash(whole)
+
+    @given(st.lists(st.tuples(addrs, sizes), min_size=1, max_size=8))
+    def test_intern_identity_independent_of_arrival_order(self, keys):
+        forward = [loc(a, s) for a, s in keys]
+        backward = [loc(a, s) for a, s in reversed(keys)]
+        for node, twin in zip(forward, reversed(backward)):
+            assert node is twin
+
+    @given(addrs, sizes)
+    def test_shifted_zero_is_identity(self, addr, size):
+        node = sym_root(addr, size)
+        assert node.shifted(0) is node
+
+
+class TestWidthsNeverConflated:
+    @given(addrs, st.tuples(sizes, sizes).filter(lambda p: p[0] != p[1]))
+    def test_sym_root_widths_distinct(self, addr, pair):
+        a, b = pair
+        narrow, wide = sym_root(addr, a), sym_root(addr, b)
+        assert narrow is not wide
+        assert narrow != wide
+        assert narrow.root != wide.root
+
+    @given(addrs, st.tuples(sizes, sizes).filter(lambda p: p[0] != p[1]))
+    def test_loc_widths_distinct(self, addr, pair):
+        a, b = pair
+        assert loc(addr, a) is not loc(addr, b)
+        assert loc(addr, a) != loc(addr, b)
+
+    @given(addrs, sizes, deltas)
+    def test_root_survives_shifting(self, addr, size, delta):
+        """Folding arithmetic into the delta never loses the width."""
+        node = sym_root(addr, size).shifted(delta)
+        assert node.root == (addr, size)
+        assert node.evaluate(100) == 100 + delta

@@ -1,0 +1,120 @@
+"""Auto-generated fuzz regression (2365b49d99).
+
+Emitted by the shrinker from a diverging fuzz case
+(seed=7, profile config hash 47d737695c4197c2).
+The divergence was induced by injected fault 'plan-store-skew' (check/faults.py), so this test passes without the fault.
+
+Divergences observed at emission time:
+* [lazy-vb] oracle: 1 violations, first: [core 3 txn=fuzz] store-drain: addr=4112 block=64 committed_byte=5 replayed_byte=4 sym=None
+* [lazy-vb] invariant: fuzz-expected: slot 2 @0x1010: 5 != 4
+* [lazy-vb] golden: 1 bytes in 1 blocks differ from sequential golden, sample addrs ['0x1010']
+* [lazy-vb] serialization: final memory differs from serial replay in commit order: 1 bytes in 1 blocks, sample addrs ['0x1010']
+
+The embedded case re-runs differentially on ('eager', 'lazy-vb', 'retcon') and the test
+fails while any divergence reproduces.
+"""
+
+import json
+
+from repro.fuzz.diff import run_case
+from repro.fuzz.gen import FuzzCase
+
+BACKENDS = ('eager', 'lazy-vb', 'retcon')
+
+CASE = json.loads(r"""
+{
+ "config": {
+  "commutative": true,
+  "init_max": 64,
+  "kind_weights": [
+   [
+    "rmw",
+    70
+   ],
+   [
+    "pstore",
+    15
+   ],
+   [
+    "work",
+    15
+   ]
+  ],
+  "max_genes": 8,
+  "min_genes": 2,
+  "op_weights": [
+   [
+    "add",
+    40
+   ],
+   [
+    "sub",
+    30
+   ],
+   [
+    "mul",
+    20
+   ],
+   [
+    "div",
+    10
+   ]
+  ],
+  "private_words": 8,
+  "shared_slots": 12,
+  "size_weights": [
+   [
+    8,
+    55
+   ],
+   [
+    4,
+    20
+   ],
+   [
+    2,
+    15
+   ],
+   [
+    1,
+    10
+   ]
+  ],
+  "slot_stride": 8,
+  "txns_per_thread": 4,
+  "work_between": 4,
+  "zipf_skew": 1.1
+ },
+ "layout": {
+  "private_base": 65536,
+  "private_stride": 512,
+  "shared_base": 4096,
+  "slot_stride": 8
+ },
+ "nthreads": 4,
+ "origin": "shrunk",
+ "seed": 7,
+ "threads": [
+  [],
+  [],
+  [],
+  [
+   [
+    [
+     "rmw",
+     2,
+     -4,
+     4,
+     8,
+     0
+    ]
+   ]
+  ]
+ ]
+}
+""")
+
+
+def test_fuzz_regression_2365b49d99():
+    outcome = run_case(FuzzCase.from_dict(CASE), backends=BACKENDS)
+    assert outcome.ok, "\n".join(str(d) for d in outcome.divergences)

@@ -1,0 +1,66 @@
+"""Campaign orchestration: corpus reuse, fault exercise end to end."""
+
+import pytest
+
+from repro.fuzz.campaign import CampaignOptions, run_campaign
+
+pytestmark = pytest.mark.slow
+
+
+def _options(tmp_path, **overrides):
+    defaults = dict(
+        profiles=("fuzz-rmw",),
+        backends=("eager", "retcon"),
+        seed_start=0,
+        seeds=2,
+        jobs=1,
+        use_cache=False,
+        corpus_root=tmp_path / "corpus",
+        regression_dir=tmp_path / "regressions",
+        quiet=True,
+    )
+    defaults.update(overrides)
+    return CampaignOptions(**defaults)
+
+
+class TestCleanCampaign:
+    def test_screens_and_records(self, tmp_path):
+        report = run_campaign(_options(tmp_path))
+        assert report.ok
+        assert report.programs == 2
+        assert report.skipped_clean == 0
+        # second run with the same range: everything comes from corpus
+        again = run_campaign(_options(tmp_path))
+        assert again.programs == 0
+        assert again.skipped_clean == 2
+
+    def test_report_summary_mentions_counts(self, tmp_path):
+        report = run_campaign(_options(tmp_path))
+        assert "2 programs" in report.summary()
+        assert "all clean" in report.summary()
+
+
+class TestFaultCampaign:
+    def test_fault_exercise_shrinks_and_emits(self, tmp_path):
+        """End-to-end ISSUE acceptance path: inject plan-store-skew,
+        expect a divergence, a shrink to <= 15 instructions, and an
+        emitted regression file."""
+        report = run_campaign(
+            _options(
+                tmp_path,
+                backends=("lazy-vb", "retcon"),
+                seed_start=7,
+                seeds=1,
+                fault="plan-store-skew",
+            )
+        )
+        assert not report.ok
+        assert report.diverging == [("fuzz-rmw", 7)]
+        assert report.shrink_summaries, "shrinker did not reproduce"
+        assert len(report.emitted) == 1
+        emitted = report.emitted[0]
+        assert emitted.exists()
+        assert "plan-store-skew" in emitted.read_text()
+        # fault runs never pollute the clean corpus
+        clean = run_campaign(_options(tmp_path, seed_start=7, seeds=1))
+        assert clean.programs == 1

@@ -1,0 +1,112 @@
+"""Corpus persistence: recording, resume, version scoping."""
+
+import json
+
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.diff import Divergence
+from repro.fuzz.gen import FUZZ_PROFILES, config_hash, generate_case
+
+CFG = FUZZ_PROFILES["fuzz-rmw"]
+BACKENDS = ("eager", "lazy-vb", "retcon")
+
+
+class TestRecordAndReload:
+    def test_flush_and_reload(self, tmp_path):
+        corpus = Corpus(tmp_path / "corpus")
+        corpus.record(CFG, 3, True, BACKENDS, 4)
+        corpus.flush()
+        fresh = Corpus(tmp_path / "corpus")
+        assert fresh.is_clean(CFG, 3, BACKENDS, 4)
+        assert fresh.screened(CFG) == 1
+
+    def test_unflushed_not_persisted(self, tmp_path):
+        corpus = Corpus(tmp_path / "corpus")
+        corpus.record(CFG, 3, True, BACKENDS, 4)
+        assert not Corpus(tmp_path / "corpus").is_clean(
+            CFG, 3, BACKENDS, 4
+        )
+
+    def test_divergences_recorded(self, tmp_path):
+        corpus = Corpus(tmp_path / "corpus")
+        corpus.record(
+            CFG, 5, False, BACKENDS, 4,
+            divergences=[Divergence("golden", "retcon", "boom")],
+        )
+        corpus.flush()
+        data = json.loads(
+            (tmp_path / "corpus" / f"{config_hash(CFG)}.json").read_text()
+        )
+        entry = data["seeds"]["5"]
+        assert not entry["ok"]
+        assert entry["divergences"][0]["kind"] == "golden"
+
+
+class TestIsClean:
+    def test_backend_superset_is_clean(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        corpus.record(CFG, 1, True, BACKENDS, 4)
+        assert corpus.is_clean(CFG, 1, ("eager", "retcon"), 4)
+
+    def test_backend_subset_is_not_clean(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        corpus.record(CFG, 1, True, ("eager",), 4)
+        assert not corpus.is_clean(CFG, 1, BACKENDS, 4)
+
+    def test_nthreads_mismatch_not_clean(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        corpus.record(CFG, 1, True, BACKENDS, 4)
+        assert not corpus.is_clean(CFG, 1, BACKENDS, 2)
+
+    def test_diverging_seed_not_clean(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        corpus.record(CFG, 1, False, BACKENDS, 4)
+        assert not corpus.is_clean(CFG, 1, BACKENDS, 4)
+
+    def test_configs_do_not_alias(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        corpus.record(CFG, 1, True, BACKENDS, 4)
+        other = FUZZ_PROFILES["fuzz-mixed"]
+        assert not corpus.is_clean(other, 1, BACKENDS, 4)
+
+
+class TestResume:
+    def test_next_seed_past_highest(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        assert corpus.next_seed(CFG) == 0
+        for seed in (0, 1, 7):
+            corpus.record(CFG, seed, True, BACKENDS, 4)
+        assert corpus.next_seed(CFG) == 8
+
+
+class TestVersionScoping:
+    def test_version_mismatch_discards(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        corpus.record(CFG, 1, True, BACKENDS, 4)
+        corpus.flush()
+        path = tmp_path / f"{config_hash(CFG)}.json"
+        data = json.loads(path.read_text())
+        data["version"] = "0.0.0"
+        path.write_text(json.dumps(data))
+        assert not Corpus(tmp_path).is_clean(CFG, 1, BACKENDS, 4)
+
+    def test_corrupt_file_discarded(self, tmp_path):
+        path = tmp_path / f"{config_hash(CFG)}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{not json")
+        corpus = Corpus(tmp_path)
+        assert corpus.next_seed(CFG) == 0
+
+
+class TestDivergingCases:
+    def test_save_diverging_round_trips(self, tmp_path):
+        from repro.fuzz.gen import FuzzCase
+
+        corpus = Corpus(tmp_path)
+        case = generate_case(2, CFG, nthreads=2)
+        path = corpus.save_diverging(
+            case, [Divergence("stats", "eager", "bad")]
+        )
+        data = json.loads(path.read_text())
+        back = FuzzCase.from_dict(data["case"])
+        assert back.to_dict() == case.to_dict()
+        assert data["divergences"][0]["backend"] == "eager"

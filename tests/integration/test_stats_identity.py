@@ -18,6 +18,10 @@ import pytest
 
 from repro.sim.runner import run_workload
 
+# Excluded from the fast tier-1 run; CI's oracle-smoke job runs this
+# file explicitly with `-m ""`.
+pytestmark = pytest.mark.slow
+
 GOLDEN = Path(__file__).resolve().parents[1] / "golden"
 
 POINTS = [
