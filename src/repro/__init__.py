@@ -38,7 +38,7 @@ from repro.workloads.registry import WORKLOADS, get_workload
 SYSTEMS = ("eager", "eager-stall", "lazy", "lazy-vb", "datm", "retcon")
 """Names of the transactional-memory system variants that can be simulated."""
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "MachineConfig",

@@ -30,7 +30,9 @@ def render_timeline(
 
     Later events overwrite earlier ones that land on the same column;
     commits and aborts take precedence so the lane's story stays
-    readable at coarse scales.
+    readable at coarse scales.  The lane count grows to cover every
+    core id present in the trace, so a caller passing a stale *ncores*
+    (or a trace from a wider machine) cannot index past the lanes.
     """
     stamped = [
         event
@@ -40,6 +42,7 @@ def render_timeline(
     if not stamped:
         return "(no timestamped events)"
     span = max(event.detail["cycle"] for event in stamped) or 1
+    ncores = max(ncores, 1 + max(event.core for event in stamped))
 
     precedence = {"C": 3, "A": 3, "B": 2, "R": 1, "S": 1, "F": 1}
     lanes = [["."] * (width + 1) for _ in range(ncores)]
@@ -62,12 +65,12 @@ def render_timeline(
     return "\n".join(lines)
 
 
-def figure2_timelines(
-    txns_per_core: int = 2, increments: int = 2, width: int = 72
-) -> dict[str, str]:
-    """Run the Figure 2 scenario on each system with tracing and
-    return the rendered timeline per system."""
-    from repro.analysis.figures import FIGURE2_SYSTEMS
+def figure2_tracer(
+    system: str, txns_per_core: int = 2, increments: int = 2
+) -> Tracer:
+    """Run the Figure 2 counter scenario on *system* and return the
+    trace: two cores repeatedly incrementing one shared counter — the
+    canonical conflict the paper's Figure 2 walks through."""
     from repro.isa.program import Assembler
     from repro.isa.registers import R1
     from repro.mem.memory import MainMemory
@@ -75,29 +78,42 @@ def figure2_timelines(
     from repro.sim.machine import Machine
     from repro.sim.script import ThreadScript
 
-    timelines = {}
-    for system in FIGURE2_SYSTEMS:
-        memory = MainMemory()
-        addr = 4096
-        scripts = []
-        for _core in range(2):
-            script = ThreadScript()
-            for _ in range(txns_per_core):
-                asm = Assembler()
-                for _ in range(increments):
-                    asm.load(R1, addr)
-                    asm.addi(R1, R1, 1)
-                    asm.store(R1, addr)
-                    asm.nop(5)
-                script.add_txn(asm.build())
-                script.add_work(3)
-            scripts.append(script)
-        machine = Machine(
-            MachineConfig(ncores=2), system, scripts, memory
+    memory = MainMemory()
+    addr = 4096
+    scripts = []
+    for _core in range(2):
+        script = ThreadScript()
+        for _ in range(txns_per_core):
+            asm = Assembler()
+            for _ in range(increments):
+                asm.load(R1, addr)
+                asm.addi(R1, R1, 1)
+                asm.store(R1, addr)
+                asm.nop(5)
+            script.add_txn(asm.build(), label="counter")
+            script.add_work(3)
+        scripts.append(script)
+    tracer = Tracer()
+    machine = Machine(
+        MachineConfig(ncores=2), system, scripts, memory,
+        tracer=tracer,
+    )
+    machine.run()
+    return tracer
+
+
+def figure2_timelines(
+    txns_per_core: int = 2, increments: int = 2, width: int = 72
+) -> dict[str, str]:
+    """Run the Figure 2 scenario on each system with tracing and
+    return the rendered timeline per system."""
+    from repro.analysis.figures import FIGURE2_SYSTEMS
+
+    return {
+        system: render_timeline(
+            figure2_tracer(system, txns_per_core, increments),
+            ncores=2,
+            width=width,
         )
-        tracer = Tracer()
-        machine.system.tracer = tracer
-        machine.run()
-        timelines[system] = render_timeline(tracer, ncores=2,
-                                            width=width)
-    return timelines
+        for system in FIGURE2_SYSTEMS
+    }

@@ -11,6 +11,10 @@ Examples::
     python -m repro sweep python_opt --jobs 4
     python -m repro sweep --smoke --jobs 2
     python -m repro run python_opt --check --trace=50
+    python -m repro trace export figure2 --system retcon
+    python -m repro trace export python_opt --cores 8 --scale 0.2
+    python -m repro timeline python_opt --cores 4 --scale 0.1
+    python -m repro metrics python_opt --cores 4 --scale 0.1
     python -m repro check --smoke --jobs 2
     python -m repro profile -o BENCH_pr3.json
     python -m repro fuzz --smoke --jobs 2
@@ -148,25 +152,39 @@ def _cmd_run(args) -> int:
 
 
 def _run_traced(args) -> int:
-    """``repro run --trace[=N]``: re-simulate with a Tracer attached.
+    """``repro run --trace[=N]``: simulate with an event stream attached.
 
-    Trace events are not serializable into the result cache, so this
-    path always simulates directly.
+    A traced run is a distinct cache point (``obs="trace"``) whose
+    event payload is persisted as an artifact next to the result, so a
+    warm cache replays the recorded trace instead of re-simulating —
+    and an untraced cache entry can never satisfy a trace request with
+    an empty trace.
     """
-    from repro.sim.runner import run_workload
+    from repro.exp.engine import run_point_with_trace
     from repro.sim.trace import Tracer
 
-    tracer = Tracer(limit=args.trace if args.trace > 0 else None)
-    result = run_workload(
-        args.workload,
-        args.system,
+    point = Point(
+        workload=args.workload,
+        system=args.system,
         ncores=args.cores,
         seed=args.seed,
         scale=args.scale,
-        oracle=args.check,
-        golden=args.check,
-        tracer=tracer,
+        check=args.check,
     )
+    result, events, _metrics = run_point_with_trace(
+        point,
+        cache=None if args.no_cache else ResultCache(),
+        refresh=args.refresh,
+    )
+    # Re-bound for display: --trace=N keeps the first N events, with
+    # per-kind drop accounting for everything beyond the bound.
+    tracer = Tracer(limit=args.trace if args.trace > 0 else None)
+    for event in events:
+        tracer.emit(event.kind, event.core, **event.detail)
+    for kind, count in events.dropped_by_kind.items():
+        tracer.dropped_by_kind[kind] = (
+            tracer.dropped_by_kind.get(kind, 0) + count
+        )
     _print_result(result)
     summary = ", ".join(
         f"{kind}={count}" for kind, count in sorted(tracer.summary().items())
@@ -176,6 +194,92 @@ def _run_traced(args) -> int:
     for event in tracer.events:
         print(f"  {event}")
     return 0 if result.check_ok else 1
+
+
+def _trace_source(args):
+    """Obtain ``(label, events, metrics)`` for the trace commands.
+
+    The pseudo-workload ``figure2`` runs the paper's two-core counter
+    scenario directly; everything else goes through the experiment
+    engine (and its trace-artifact cache).
+    """
+    if args.workload == "figure2":
+        from repro.analysis.timeline import figure2_tracer
+
+        return (
+            f"figure2/{args.system}",
+            figure2_tracer(args.system),
+            {},
+        )
+    from repro.exp.engine import run_point_with_trace
+
+    point = Point(
+        workload=args.workload,
+        system=args.system,
+        ncores=args.cores,
+        seed=args.seed,
+        scale=args.scale,
+    )
+    _result, events, metrics = run_point_with_trace(
+        point,
+        cache=None if args.no_cache else ResultCache(),
+        refresh=args.refresh,
+    )
+    return f"{args.workload}/{args.system}", events, metrics
+
+
+def _cmd_trace(args) -> int:
+    """``repro trace export``: write a Perfetto-openable JSON trace."""
+    from repro.obs.export import chrome_trace, write_chrome_trace
+
+    label, events, _metrics = _trace_source(args)
+    payload = chrome_trace(events, label=label)
+    out = args.output or f"trace_{label.replace('/', '_')}.json"
+    path = write_chrome_trace(out, payload)
+    spans = sum(
+        1 for e in payload["traceEvents"] if e.get("ph") == "X"
+    )
+    instants = sum(
+        1 for e in payload["traceEvents"] if e.get("ph") == "i"
+    )
+    print(
+        f"wrote {path}: {len(payload['traceEvents'])} trace events "
+        f"({spans} txn spans, {instants} instants) — open in "
+        "ui.perfetto.dev"
+    )
+    dropped = events.dropped_by_kind
+    if dropped:
+        drops = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(dropped.items())
+        )
+        print(f"note: bounded stream dropped events ({drops})")
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    """``repro timeline``: ASCII timeline + contention/abort views."""
+    from repro.analysis.timeline import render_timeline
+    from repro.obs.views import abort_breakdown, contention_heatmap
+
+    label, events, _metrics = _trace_source(args)
+    ncores = 2 if args.workload == "figure2" else args.cores
+    print(f"--- {label} ---")
+    print(render_timeline(events, ncores=ncores, width=args.width))
+    print(f"\ncontention by block ({label}):")
+    print(contention_heatmap(events))
+    print(f"\nabort attribution ({label}):")
+    print(abort_breakdown(events))
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    """``repro metrics``: run one point and print its registry."""
+    from repro.obs.metrics import render_snapshot
+
+    label, _events, metrics = _trace_source(args)
+    print(f"--- {label} ---")
+    print(render_snapshot(metrics))
+    return 0
 
 
 def _cmd_check(args) -> int:
@@ -720,6 +824,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_args(fuzz)
 
+    trace = sub.add_parser(
+        "trace", help="trace tooling (Perfetto/Chrome-trace export)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    export = trace_sub.add_parser(
+        "export",
+        help="run one point with tracing and write Chrome-trace JSON "
+             "(openable in ui.perfetto.dev); the pseudo-workload "
+             "'figure2' exports the paper's two-core counter scenario",
+    )
+    export.add_argument(
+        "workload", choices=sorted(WORKLOADS) + ["figure2"]
+    )
+    export.add_argument("--system", default="retcon")
+    export.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="output path (default trace_<workload>_<system>.json)",
+    )
+    _add_run_args(export)
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="ASCII per-core timeline plus contention heatmap and "
+             "abort-attribution breakdown for one traced run",
+    )
+    timeline.add_argument(
+        "workload", choices=sorted(WORKLOADS) + ["figure2"]
+    )
+    timeline.add_argument("--system", default="retcon")
+    timeline.add_argument(
+        "--width", type=int, default=72,
+        help="timeline width in columns (default 72)",
+    )
+    _add_run_args(timeline)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run one point with the metrics registry attached and "
+             "print every counter, gauge, and histogram",
+    )
+    metrics.add_argument("workload", choices=sorted(WORKLOADS))
+    metrics.add_argument("--system", default="retcon")
+    _add_run_args(metrics)
+
     check = sub.add_parser(
         "check",
         help="correctness oracle: replay every commit, diff against a "
@@ -749,6 +897,9 @@ COMMANDS = {
     "check": _cmd_check,
     "fuzz": _cmd_fuzz,
     "profile": _cmd_profile,
+    "trace": _cmd_trace,
+    "timeline": _cmd_timeline,
+    "metrics": _cmd_metrics,
 }
 
 

@@ -4,10 +4,13 @@ Layout (under ``.repro-cache/`` by default, or ``$REPRO_CACHE_DIR``)::
 
     .repro-cache/
         ab/
-            ab3f...e9.json      # one file per point, named by its key
+            ab3f...e9.json        # one file per point, named by its key
+            ab3f...e9.trace.json  # named artifact beside the result
 
-Each file stores the point's spec, the simulator version, and the
-serialized :class:`~repro.sim.runner.WorkloadResult`.  Keys come from
+Each result file stores the point's spec, the simulator version, and
+the serialized :class:`~repro.sim.runner.WorkloadResult`.  Observability
+runs additionally persist named *artifacts* (the trace event payload)
+next to the result under ``<key>.<name>.json``.  Keys come from
 :func:`repro.exp.spec.point_key`: a SHA-256 over the full point spec
 plus ``repro.__version__``, so editing any parameter — or bumping the
 package version — invalidates by construction.  Files are written
@@ -85,6 +88,54 @@ class ResultCache:
             "spec": point.spec_dict(),
             "result": result.to_dict(),
         }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    # Named artifacts (trace payloads etc.) beside the result entry
+    # ------------------------------------------------------------------
+    def artifact_path_for(
+        self, point: Point, name: str, version: str | None = None
+    ) -> Path:
+        key = point_key(point, version=version)
+        return self.root / key[:2] / f"{key}.{name}.json"
+
+    def get_artifact(
+        self, point: Point, name: str, version: str | None = None
+    ) -> Optional[dict]:
+        """Return the named artifact for *point*, or None on a miss."""
+        path = self.artifact_path_for(point, name, version=version)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict):
+                raise ValueError("artifact is not an object")
+        except (OSError, ValueError):
+            return None
+        return payload
+
+    def put_artifact(
+        self,
+        point: Point,
+        name: str,
+        payload: dict,
+        version: str | None = None,
+    ) -> Path:
+        """Store *payload* as the named artifact atomically."""
+        path = self.artifact_path_for(point, name, version=version)
+        path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=path.stem, suffix=".tmp"
         )

@@ -41,6 +41,9 @@ from repro.sim.runner import (
 #: progress callback: (done, total, point, status, seconds)
 ProgressFn = Callable[[int, int, Point, str, float], None]
 
+#: event-stream bound for observability runs (``Point.obs == "trace"``)
+OBS_EVENT_LIMIT = 200_000
+
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Worker-count policy: argument, then $REPRO_JOBS, then all cores."""
@@ -61,11 +64,15 @@ def _group_by_baseline(points: Sequence[Point]) -> list[list[Point]]:
     return list(groups.values())
 
 
-def _run_group(group: list[Point]) -> list[tuple[Point, WorkloadResult, float]]:
+def _run_group(
+    group: list[Point],
+) -> list[tuple[Point, WorkloadResult, float, dict]]:
     """Run one baseline-sharing group (in-process; also the pool task).
 
     The workload is generated once and the sequential baseline run
-    once; every system in the group reuses both.
+    once; every system in the group reuses both.  Each tuple's last
+    element maps artifact names to JSON payloads (empty for points
+    without an observability request).
     """
     first = group[0]
     config = first.resolved_config()
@@ -80,6 +87,13 @@ def _run_group(group: list[Point]) -> list[tuple[Point, WorkloadResult, float]]:
     baseline_seconds = time.perf_counter() - start
     out = []
     for i, point in enumerate(group):
+        tracer = metrics = None
+        if point.obs == "trace":
+            from repro.obs.events import EventStream
+            from repro.obs.metrics import MetricsRegistry
+
+            tracer = EventStream(limit=OBS_EVENT_LIMIT)
+            metrics = MetricsRegistry()
         start = time.perf_counter()
         result = run_workload(
             point.workload,
@@ -92,11 +106,18 @@ def _run_group(group: list[Point]) -> list[tuple[Point, WorkloadResult, float]]:
             generated=generated,
             oracle=point.check,
             golden=point.check,
+            tracer=tracer,
+            metrics=metrics,
         )
         seconds = time.perf_counter() - start
         if i == 0:
             seconds += baseline_seconds
-        out.append((point, result, seconds))
+        artifacts: dict = {}
+        if tracer is not None:
+            payload = tracer.to_payload()
+            payload["metrics"] = metrics.snapshot()
+            artifacts["trace"] = payload
+        out.append((point, result, seconds, artifacts))
     return out
 
 
@@ -149,6 +170,12 @@ def run_points(
     pending: list[Point] = []
     for point in ordered:
         hit = None if (cache is None or refresh) else cache.get(point)
+        if hit is not None and point.obs:
+            # A result without its observability artifact cannot
+            # satisfy a trace request — re-simulate instead of
+            # returning a result whose trace would be empty.
+            if cache.get_artifact(point, point.obs) is None:
+                hit = None
         if hit is not None:
             results[point] = hit
             done += 1
@@ -160,12 +187,16 @@ def run_points(
     groups = _group_by_baseline(pending)
     njobs = min(resolve_jobs(jobs), max(len(groups), 1))
 
-    def consume(batch: list[tuple[Point, WorkloadResult, float]]) -> None:
+    def consume(
+        batch: list[tuple[Point, WorkloadResult, float, dict]]
+    ) -> None:
         nonlocal done
-        for point, result, seconds in batch:
+        for point, result, seconds, artifacts in batch:
             results[point] = result
             if cache is not None:
                 cache.put(point, result)
+                for name, payload in artifacts.items():
+                    cache.put_artifact(point, name, payload)
             done += 1
             if progress:
                 progress(done, total, point, "ran", seconds)
@@ -181,6 +212,48 @@ def run_points(
                 consume(batch)
 
     return {point: results[point] for point in ordered}
+
+
+def run_point_with_trace(
+    point: Point,
+    cache: Optional[ResultCache] = None,
+    refresh: bool = False,
+):
+    """Run one point with tracing; returns ``(result, events, metrics)``.
+
+    ``events`` is an :class:`repro.obs.events.EventStream` and
+    ``metrics`` the registry snapshot dict from the run.  The point is
+    promoted to ``obs="trace"`` (a *different* cache key from the
+    untraced run), so a warm untraced cache can never short-circuit a
+    trace request; a cache hit requires both the result entry and its
+    trace artifact, and replays the persisted events.
+    """
+    from dataclasses import replace
+
+    from repro.obs.events import EventStream
+
+    if point.obs != "trace":
+        point = replace(point, obs="trace")
+    if cache is not None and not refresh:
+        result = cache.get(point)
+        payload = cache.get_artifact(point, "trace")
+        if result is not None and payload is not None:
+            return (
+                result,
+                EventStream.from_payload(payload),
+                dict(payload.get("metrics", ())),
+            )
+    batch = _run_group([point])
+    point, result, _seconds, artifacts = batch[0]
+    payload = artifacts["trace"]
+    if cache is not None:
+        cache.put(point, result)
+        cache.put_artifact(point, "trace", payload)
+    return (
+        result,
+        EventStream.from_payload(payload),
+        dict(payload.get("metrics", ())),
+    )
 
 
 def run_spec(

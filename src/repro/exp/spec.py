@@ -37,6 +37,12 @@ class Point:
     #: beyond its registry name (the fuzzer salts points with the
     #: generator-config hash so profile changes invalidate the cache)
     tag: str = ""
+    #: observability request: "" (none) or "trace" (record an event
+    #: stream + metrics and persist them as a cache artifact).  Part of
+    #: the cache key — a traced run and an untraced run are different
+    #: points, so a warm untraced cache can never satisfy a trace
+    #: request with an empty trace.
+    obs: str = ""
 
     def resolved_config(self) -> MachineConfig:
         """The machine configuration this point actually runs with."""
@@ -66,6 +72,7 @@ class Point:
             # fields an unchecked run lacks
             "check": self.check,
             "tag": self.tag,
+            "obs": self.obs,
         }
 
     def label(self) -> str:
@@ -76,6 +83,8 @@ class Point:
             extras += " +check"
         if self.tag:
             extras += f" tag={self.tag}"
+        if self.obs:
+            extras += f" +{self.obs}"
         return (
             f"{self.workload}/{self.system} ncores={self.ncores} "
             f"seed={self.seed} scale={self.scale}{extras}"
@@ -119,6 +128,8 @@ class ExperimentSpec:
     check: bool = False
     #: extra cache-key salt propagated to every point (see Point.tag)
     tag: str = ""
+    #: observability request propagated to every point (see Point.obs)
+    obs: str = ""
 
     def __post_init__(self) -> None:
         # Tolerate lists/generators from callers; store tuples so the
@@ -140,6 +151,7 @@ class ExperimentSpec:
                 config=self.config,
                 check=self.check,
                 tag=self.tag,
+                obs=self.obs,
             )
             for workload in self.workloads
             for ncores in self.core_counts

@@ -110,6 +110,8 @@ class ForwardingMixin:
                 continue
             self._preds[core].add(holder)
             self._succs[holder].add(core)
+            if self.metrics is not None:
+                self._m_forwards.inc()
             self._trace(
                 "forward", core, block=block, source=holder
             )

@@ -107,6 +107,15 @@ class BaseTMSystem:
         #: optional callable core -> current cycle (set by the Machine
         #: so trace events carry timestamps)
         self.clock = None
+        #: optional callable core -> current txn label (set by the
+        #: Machine so trace events and abort attribution carry labels)
+        self.labeler = None
+        #: optional :class:`repro.obs.metrics.MetricsRegistry`; attach
+        #: via :meth:`bind_metrics` so hot sites hold counter handles
+        self.metrics = None
+        #: block whose conflict resolution is in progress (attributed
+        #: to abort events raised while resolving it)
+        self._resolving_block: Optional[int] = None
         #: optional :class:`repro.check.oracle.RepairOracle`; the core
         #: drives its recording hooks, RETCON pre-commit its checks
         self.oracle = None
@@ -118,7 +127,26 @@ class BaseTMSystem:
         if self.tracer is not None:
             if self.clock is not None:
                 detail.setdefault("cycle", self.clock(core))
+            if self.labeler is not None:
+                label = self.labeler(core)
+                if label is not None:
+                    detail.setdefault("label", label)
             self.tracer.emit(kind, core, **detail)
+
+    def bind_metrics(self, registry) -> None:
+        """Attach a metrics registry, caching hot counter handles.
+
+        Emission stays boundary-only (begin/commit/abort, plus the
+        per-commit repair drain) and each site costs one ``is not
+        None`` check plus an integer add — the <2%-overhead budget.
+        """
+        self.metrics = registry
+        self._m_begins = registry.counter("txn.begins")
+        self._m_commits = registry.counter("txn.commits")
+        self._m_conflicts = registry.counter("htm.conflicts")
+        self._m_steals = registry.counter("retcon.steals")
+        self._m_repairs = registry.counter("retcon.repairs")
+        self._m_forwards = registry.counter("fwd.forwards")
 
     # ------------------------------------------------------------------
     # Engine access (overridden by RETCON)
@@ -143,6 +171,8 @@ class BaseTMSystem:
         engine = self.engine(core)
         if engine is not None:
             engine.begin_txn()
+        if self.metrics is not None:
+            self._m_begins.inc()
         self._trace("begin", core, ts=ctx.ts, restart=restart)
 
     def in_txn(self, core: int) -> bool:
@@ -167,32 +197,41 @@ class BaseTMSystem:
         ctx = self.ctx[core]
         nontx = not ctx.active
         self._observe_conflict(core, block, holders)
-        for holder in sorted(holders):
-            holder_ctx = self.ctx[holder]
-            if not holder_ctx.active:
-                continue  # already gone (e.g. aborted for a prior holder)
-            resolution = self.policy.resolve(
-                ctx.ts,
-                holder_ctx.ts,
-                requester_nontx=nontx,
-                requester_id=core,
-                holder_id=holder,
-            )
-            action = resolution.action
-            if action is Action.STALL and self._would_deadlock(core, holder):
-                # Break the wait cycle: abort the younger of the pair
-                # ((ts, core id) order, matching the timestamp policy).
-                if (ctx.ts, core) > (holder_ctx.ts, holder):
-                    action = Action.ABORT_SELF
+        if self.metrics is not None:
+            self._m_conflicts.inc()
+        self._trace("conflict", core, block=block, holders=len(holders))
+        self._resolving_block = block
+        try:
+            for holder in sorted(holders):
+                holder_ctx = self.ctx[holder]
+                if not holder_ctx.active:
+                    continue  # already gone (e.g. aborted for a prior holder)
+                resolution = self.policy.resolve(
+                    ctx.ts,
+                    holder_ctx.ts,
+                    requester_nontx=nontx,
+                    requester_id=core,
+                    holder_id=holder,
+                )
+                action = resolution.action
+                if action is Action.STALL and self._would_deadlock(
+                    core, holder
+                ):
+                    # Break the wait cycle: abort the younger of the pair
+                    # ((ts, core id) order, matching the timestamp policy).
+                    if (ctx.ts, core) > (holder_ctx.ts, holder):
+                        action = Action.ABORT_SELF
+                    else:
+                        action = Action.ABORT_REMOTE
+                if action is Action.ABORT_REMOTE:
+                    self._doom(holder, reason="conflict")
+                elif action is Action.ABORT_SELF:
+                    self._abort_self(core, reason="conflict")
                 else:
-                    action = Action.ABORT_REMOTE
-            if action is Action.ABORT_REMOTE:
-                self._doom(holder, reason="conflict")
-            elif action is Action.ABORT_SELF:
-                self._abort_self(core, reason="conflict")
-            else:
-                self._waiting_on[core] = holder
-                raise StallRetry(block, {holder})
+                    self._waiting_on[core] = holder
+                    raise StallRetry(block, {holder})
+        finally:
+            self._resolving_block = None
         self._waiting_on.pop(core, None)
 
     def _check_self_doom(self, core: int) -> None:
@@ -261,7 +300,13 @@ class BaseTMSystem:
         self._clear_wait_edges(core)
         aborts = self.stats.core(core).aborts
         aborts[reason] = aborts.get(reason, 0) + 1
-        self._trace("abort", core, reason=reason, by="remote")
+        if self.metrics is not None:
+            self.metrics.inc("txn.aborts", reason=reason)
+        if self._resolving_block is not None:
+            self._trace("abort", core, reason=reason, by="remote",
+                        block=self._resolving_block)
+        else:
+            self._trace("abort", core, reason=reason, by="remote")
 
     def _abort_self(self, core: int, reason: str) -> None:
         ctx = self.ctx[core]
@@ -276,7 +321,13 @@ class BaseTMSystem:
         self._clear_wait_edges(core)
         aborts = self.stats.core(core).aborts
         aborts[reason] = aborts.get(reason, 0) + 1
-        self._trace("abort", core, reason=reason, by="self")
+        if self.metrics is not None:
+            self.metrics.inc("txn.aborts", reason=reason)
+        if self._resolving_block is not None:
+            self._trace("abort", core, reason=reason, by="self",
+                        block=self._resolving_block)
+        else:
+            self._trace("abort", core, reason=reason, by="self")
         raise TxnAborted(reason)
 
     # ------------------------------------------------------------------
@@ -349,6 +400,8 @@ class BaseTMSystem:
             engine = self.engine(other)
             if engine is not None and self.ctx[other].active:
                 if engine.is_tracked(block):
+                    if self.metrics is not None:
+                        self._m_steals.inc()
                     self._trace(
                         "steal", other, block=block, writer=core
                     )
@@ -368,6 +421,8 @@ class BaseTMSystem:
         ctx.block_mode.clear()
         self._clear_wait_edges(core)
         self.stats.core(core).commits += 1
+        if self.metrics is not None:
+            self._m_commits.inc()
         self._trace("commit", core, latency=result.latency)
         return result
 
@@ -627,6 +682,8 @@ class RetconTMSystem(BaseTMSystem):
             if not idealized:
                 latency += max(1, outcome.latency)
             self.memory.write(addr, final_value, size)
+            if self.metrics is not None:
+                self._m_repairs.inc()
             self._trace("repair", core, addr=addr, value=final_value)
 
         sample = engine.sample(commit_cycles=latency)

@@ -66,6 +66,9 @@ class SetAssocCache:
         self.num_sets = size_bytes // (assoc * block_size)
         self._sets: dict[int, dict[int, CacheLine]] = {}
         self._tick = 0
+        #: capacity evictions performed by :meth:`insert` (read by the
+        #: observability layer's end-of-run collection)
+        self.evictions = 0
 
     # -- internals -----------------------------------------------------------
     def _set_for(self, block: int) -> dict[int, CacheLine]:
@@ -128,6 +131,7 @@ class SetAssocCache:
         if len(cache_set) >= self.assoc:
             evicted = self._pick_victim(cache_set)
             del cache_set[evicted.block]
+            self.evictions += 1
 
         line = CacheLine(block=block, writable=writable)
         self._touch(line)

@@ -1,0 +1,56 @@
+"""Observability: metrics, structured events, trace export, views.
+
+The layer the evaluation's artifacts are built from (see
+``docs/observability.md``):
+
+* :mod:`repro.obs.events` — the structured event stream: bounded
+  collection with per-kind drop accounting, cycle-stamped from the
+  machine clock.  :class:`repro.sim.trace.Tracer` is now a thin
+  backwards-compatible subclass.
+* :mod:`repro.obs.metrics` — a typed metrics registry (counters,
+  gauges, histograms) flushed at transaction boundaries only, zero
+  cost when not attached.
+* :mod:`repro.obs.export` — Chrome-trace/Perfetto JSON export: any
+  run opens in ``ui.perfetto.dev`` with one track per core.
+* :mod:`repro.obs.views` — derived views: per-block contention
+  heatmap and the abort-attribution breakdown.
+* :mod:`repro.obs.collect` — end-of-run collection of machine-level
+  counters (cache spills, evictions, cycle breakdown) into a registry.
+"""
+
+from repro.obs.events import EventStream, TraceEvent
+from repro.obs.export import (
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_snapshot,
+)
+from repro.obs.views import (
+    abort_attribution,
+    abort_breakdown,
+    contention_counts,
+    contention_heatmap,
+)
+
+__all__ = [
+    "Counter",
+    "EventStream",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceEvent",
+    "abort_attribution",
+    "abort_breakdown",
+    "chrome_trace",
+    "contention_counts",
+    "contention_heatmap",
+    "render_snapshot",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

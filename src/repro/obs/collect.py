@@ -1,0 +1,61 @@
+"""End-of-run metric collection.
+
+Per-event metrics (transaction counters, duration histograms) are
+emitted live at transaction boundaries; everything that is *already
+counted elsewhere* — the per-core cycle attribution in
+:class:`~repro.sim.stats.CoreStats`, the coherence fabric's spill and
+overflow counters, per-cache eviction totals — is flushed into the
+registry exactly once, here, when the run finishes.  This keeps the
+simulation loop free of duplicate bookkeeping: the registry *reads*
+the boundary-flushed structures instead of shadowing them.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def collect_machine(
+    registry: MetricsRegistry, machine, makespan: int
+) -> None:
+    """Flush *machine*'s end-of-run totals into *registry*.
+
+    Called by :meth:`repro.sim.machine.Machine.run` just before it
+    returns, when a registry is attached.
+    """
+    stats = machine.stats
+    registry.set("sim.makespan_cycles", makespan)
+    registry.set("sim.ncores", machine.config.ncores)
+
+    totals = {"busy": 0, "conflict": 0, "barrier": 0, "other": 0}
+    for cid in range(machine.config.ncores):
+        core = stats.core(cid)
+        totals["busy"] += core.busy
+        totals["conflict"] += core.conflict
+        totals["barrier"] += core.barrier
+        totals["other"] += core.other
+        # Per-core flush: CoreStats is the core-local accumulator
+        # (written only at txn boundaries); this is its registry flush.
+        registry.set("core.busy_cycles", core.busy, core=cid)
+        registry.set("core.conflict_cycles", core.conflict, core=cid)
+        registry.set("core.commits", core.commits, core=cid)
+        registry.set("core.aborts", core.total_aborts, core=cid)
+        registry.set("core.stall_events", core.stall_events, core=cid)
+    for bucket, cycles in totals.items():
+        registry.set(f"cycles.{bucket}", cycles)
+
+    fabric = machine.fabric
+    registry.set("cache.perm_spills", fabric.perm_cache_spills)
+    registry.set("cache.overflows", fabric.overflow_events)
+    registry.set(
+        "cache.l1_evictions",
+        sum(c.l1.evictions for c in fabric.cores),
+    )
+    registry.set(
+        "cache.l2_evictions",
+        sum(c.l2.evictions for c in fabric.cores),
+    )
+    registry.set(
+        "cache.perm_evictions",
+        sum(c.perm.evictions for c in fabric.cores),
+    )

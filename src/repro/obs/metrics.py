@@ -1,0 +1,266 @@
+"""Typed metrics: counters, gauges, and histograms in one registry.
+
+Design constraints (mirroring the simulator's hot-path discipline):
+
+* **Zero cost when absent.**  Every emission site guards with a single
+  ``if self.metrics is not None`` attribute check — a run without a
+  registry pays one pointer compare per *transaction boundary*, never
+  per instruction.
+* **Boundary-only flushes.**  Emission follows the same protocol as
+  :class:`repro.sim.stats.CoreStats`: per-attempt state accumulates in
+  core-local variables and reaches the registry only at commit/abort
+  (histograms via :meth:`repro.sim.stats.MachineStats.record_txn`,
+  counters at the TM system's lifecycle events).  Machine-level
+  totals (cache spills, evictions, cycle breakdown) are collected
+  once, at end of run, by :mod:`repro.obs.collect`.
+* **Bound handles on attach.**  Hot emitters cache their
+  :class:`Counter` handles when the registry is attached (see
+  ``BaseTMSystem.bind_metrics``) so the per-event cost is one integer
+  add, not a registry lookup.
+
+Histograms use power-of-two buckets: ``observe(v)`` lands ``v`` in
+bucket ``v.bit_length()``, i.e. bucket *i* covers ``[2**(i-1), 2**i)``
+— cheap, allocation-free, and plenty for cycle-count distributions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+#: label sets are stored as a sorted tuple of (key, value) pairs
+LabelKey = tuple
+
+_HIST_BUCKETS = 40  # 2**39 cycles ≈ half a trillion; beyond any run
+
+
+def _label_key(labels: dict) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> Union[int, float]:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """Power-of-two-bucketed distribution of non-negative integers."""
+
+    __slots__ = ("name", "labels", "count", "total", "minimum", "maximum",
+                 "buckets")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0
+        self.minimum: Optional[int] = None
+        self.maximum = 0
+        self.buckets = [0] * _HIST_BUCKETS
+
+    def observe(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name}: negative {value}")
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        self.buckets[min(int(value).bit_length(), _HIST_BUCKETS - 1)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> int:
+        """Upper bound of the bucket holding the q-th percentile
+        (0 < q <= 100); 0 when empty."""
+        if not 0 < q <= 100:
+            raise ValueError(f"percentile {q} out of (0, 100]")
+        if self.count == 0:
+            return 0
+        threshold = self.count * q / 100.0
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            seen += n
+            if seen >= threshold:
+                return (1 << i) - 1 if i else 0
+        return self.maximum
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum or 0,
+            "max": self.maximum,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """All metrics of one run, keyed by (name, labels).
+
+    ``counter``/``gauge``/``histogram`` create on first use and return
+    the same object afterwards; asking for an existing name with a
+    different type raises (one name, one type).  Convenience one-shot
+    forms (``inc``/``set``/``observe``) exist for cold paths; hot
+    paths should hold the handle.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelKey], Metric] = {}
+
+    # -- typed accessors ---------------------------------------------------
+    def _get(self, cls, name: str, labels: dict) -> Metric:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[1])
+            self._metrics[key] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # -- one-shot conveniences (cold paths) --------------------------------
+    def inc(self, name: str, n: int = 1, **labels) -> None:
+        self.counter(name, **labels).inc(n)
+
+    def set(self, name: str, value, **labels) -> None:
+        self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: int, **labels) -> None:
+        self.histogram(name, **labels).observe(value)
+
+    # -- introspection -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        for _key, metric in sorted(self._metrics.items()):
+            yield metric
+
+    def get(self, name: str, **labels) -> Optional[Metric]:
+        return self._metrics.get((name, _label_key(labels)))
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump: ``{"name{k=v,...}": value-or-hist-dict}``."""
+        out = {}
+        for metric in self:
+            key = metric.name
+            if metric.labels:
+                inner = ",".join(f"{k}={v}" for k, v in metric.labels)
+                key = f"{metric.name}{{{inner}}}"
+            out[key] = metric.snapshot()
+        return out
+
+    def render(self) -> str:
+        """ASCII table of every metric, grouped by type."""
+        lines = []
+        counters = [m for m in self if m.kind == "counter"]
+        gauges = [m for m in self if m.kind == "gauge"]
+        hists = [m for m in self if m.kind == "histogram"]
+
+        def label_str(metric: Metric) -> str:
+            if not metric.labels:
+                return metric.name
+            inner = ",".join(f"{k}={v}" for k, v in metric.labels)
+            return f"{metric.name}{{{inner}}}"
+
+        if counters:
+            lines.append("counters:")
+            width = max(len(label_str(m)) for m in counters)
+            for m in counters:
+                lines.append(f"  {label_str(m):{width}s}  {m.value}")
+        if gauges:
+            lines.append("gauges:")
+            width = max(len(label_str(m)) for m in gauges)
+            for m in gauges:
+                lines.append(f"  {label_str(m):{width}s}  {m.value}")
+        if hists:
+            lines.append("histograms:")
+            width = max(len(label_str(m)) for m in hists)
+            for m in hists:
+                snap = m.snapshot()
+                lines.append(
+                    f"  {label_str(m):{width}s}  n={snap['count']} "
+                    f"mean={snap['mean']:.1f} min={snap['min']} "
+                    f"p50<={snap['p50']} p99<={snap['p99']} "
+                    f"max={snap['max']}"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """ASCII rendering of a :meth:`MetricsRegistry.snapshot` dict (the
+    form persisted inside trace artifacts — scalars for counters and
+    gauges, summary dicts for histograms)."""
+    if not snapshot:
+        return "(no metrics recorded)"
+    scalars = {
+        k: v for k, v in snapshot.items() if not isinstance(v, dict)
+    }
+    hists = {k: v for k, v in snapshot.items() if isinstance(v, dict)}
+    lines = []
+    if scalars:
+        width = max(len(k) for k in scalars)
+        for key in sorted(scalars):
+            lines.append(f"{key:{width}s}  {scalars[key]}")
+    if hists:
+        width = max(len(k) for k in hists)
+        for key in sorted(hists):
+            snap = hists[key]
+            lines.append(
+                f"{key:{width}s}  n={snap['count']} "
+                f"mean={snap['mean']:.1f} min={snap['min']} "
+                f"p50<={snap['p50']} p99<={snap['p99']} "
+                f"max={snap['max']}"
+            )
+    return "\n".join(lines)

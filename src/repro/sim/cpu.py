@@ -155,8 +155,8 @@ class Core:
         inst = self._decoded[self.pc]
         try:
             latency = self._execute(inst)
-        except StallRetry:
-            self._charge_stall()
+        except StallRetry as stall:
+            self._charge_stall(stall)
             return
         except TxnAborted:
             self._handle_abort()
@@ -167,7 +167,7 @@ class Core:
         self.attempt_busy += latency
         self.cycle += latency
 
-    def _charge_stall(self) -> None:
+    def _charge_stall(self, stall_info: Optional[StallRetry] = None) -> None:
         """Wait before retrying a conflicting access.
 
         The retry interval backs off exponentially (capped) so a core
@@ -183,12 +183,17 @@ class Core:
         self.cycle += stall
         self.attempt_conflict += stall
         self.attempt_stall_events += 1
+        if self.system.tracer is not None:
+            detail = {"cycles": stall}
+            if stall_info is not None:
+                detail["block"] = stall_info.block
+            self.system._trace("stall", self.cid, **detail)
 
     def _try_commit(self) -> None:
         try:
             result = self.system.commit(self.cid)
-        except StallRetry:
-            self._charge_stall()
+        except StallRetry as stall:
+            self._charge_stall(stall)
             return
         except TxnAborted:
             self._handle_abort()

@@ -64,6 +64,7 @@ class Machine:
         label: str | None = None,
         check: "bool | object | None" = None,
         tracer: "object | None" = None,
+        metrics: "object | None" = None,
     ) -> None:
         if len(scripts) > config.ncores:
             raise ValueError(
@@ -89,6 +90,11 @@ class Machine:
         self.system.clock = lambda cid: self.cores[cid].cycle
         if tracer is not None:
             self.system.tracer = tracer
+            self.system.labeler = self._txn_label
+        self.metrics = metrics
+        if metrics is not None:
+            self.system.bind_metrics(metrics)
+            self.stats.metrics = metrics
         # check=True attaches a fresh repair oracle; pass a configured
         # RepairOracle instance for strict mode / custom limits.
         # Systems with oracle_compatible=False (speculative value
@@ -143,6 +149,10 @@ class Machine:
                 heapq.heappush(heap, (core.cycle, core.cid))
 
         final_makespan = max(core.cycle for core in self.cores)
+        if self.metrics is not None:
+            from repro.obs.collect import collect_machine
+
+            collect_machine(self.metrics, self, final_makespan)
         return RunResult(
             cycles=final_makespan,
             stats=self.stats,
@@ -150,6 +160,11 @@ class Machine:
             system_name=self.system.name,
             oracle=self.oracle,
         )
+
+    def _txn_label(self, cid: int) -> str | None:
+        """Current transaction label for *cid* (trace-event stamping)."""
+        item = self.cores[cid].current_item()
+        return getattr(item, "label", None)
 
     def _done_count(self) -> int:
         return sum(1 for core in self.cores if core.done())

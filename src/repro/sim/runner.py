@@ -154,6 +154,7 @@ def run_workload(
     oracle: bool = False,
     golden: bool = False,
     tracer=None,
+    metrics=None,
 ) -> WorkloadResult:
     """Simulate *name* on *system* and compare against sequential.
 
@@ -166,7 +167,8 @@ def run_workload(
     (:mod:`repro.check.oracle`) to the run; ``golden=True`` diffs the
     final state against a sequential golden run
     (:mod:`repro.check.golden`); ``tracer`` attaches a
-    :class:`repro.sim.trace.Tracer` to the TM system.
+    :class:`repro.sim.trace.Tracer` to the TM system; ``metrics``
+    attaches a :class:`repro.obs.metrics.MetricsRegistry`.
     """
     config = (config or MachineConfig()).with_cores(ncores)
     if generated is None:
@@ -183,6 +185,7 @@ def run_workload(
               f"scale={scale}",
         check=oracle,
         tracer=tracer,
+        metrics=metrics,
     )
     parallel = machine.run()
 

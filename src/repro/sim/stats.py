@@ -103,6 +103,9 @@ class MachineStats:
         self._pending_retcon: list[Optional[TxnRetconSample]] = [
             None
         ] * ncores
+        #: optional :class:`repro.obs.metrics.MetricsRegistry`; when
+        #: attached, commit-boundary samples also feed its histograms.
+        self.metrics = None
 
     # ------------------------------------------------------------------
     def core(self, core: int) -> CoreStats:
@@ -126,6 +129,11 @@ class MachineStats:
         """A transaction committed after *duration* total cycles."""
         self._txn_cycles += duration
         self._txn_commit_cycles += commit_cycles
+        if self.metrics is not None:
+            # Same boundary-only discipline as CoreStats: one
+            # histogram observation per committed transaction.
+            self.metrics.observe("txn.duration_cycles", duration)
+            self.metrics.observe("txn.commit_cycles", commit_cycles)
         sample = self._pending_retcon[core]
         self._pending_retcon[core] = None
         if sample is None:

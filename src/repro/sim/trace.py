@@ -1,10 +1,17 @@
 """Optional event tracing for debugging and analysis.
 
 A :class:`Tracer` attached to a TM system records the interesting
-transactional events — begins, commits, aborts (with reason), block
-steals, and commit-time repairs — with the core id and that core's
-local cycle where available.  Tracing is off by default and costs one
-attribute check per event site when disabled.
+transactional events — begins, commits, aborts (with reason and,
+where known, the contended block), block steals, commit-time repairs,
+value forwards, stalls, and conflict resolutions — with the core id
+and that core's local cycle where available.  Tracing is off by
+default and costs one attribute check per event site when disabled.
+
+``Tracer`` is the historical name for the observability layer's
+:class:`repro.obs.events.EventStream` with its default head-bounded
+discipline (keep the first *limit* events): all bounding, per-kind
+drop accounting, query, and artifact-serialization behavior lives
+there.  Pass ``keep="last"`` for a ring buffer of the trace tail.
 
 Usage::
 
@@ -18,55 +25,17 @@ Usage::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Optional
+
+from repro.obs.events import EventStream, TraceEvent
+
+__all__ = ["TraceEvent", "Tracer"]
 
 
-@dataclass(frozen=True)
-class TraceEvent:
-    """One transactional event."""
-
-    kind: str  # begin | commit | abort | steal | repair | stall
-    core: int
-    #: event-specific payload (reason, block, address, value, ...)
-    detail: dict = field(default_factory=dict)
-
-    def __str__(self) -> str:
-        extra = " ".join(f"{k}={v}" for k, v in self.detail.items())
-        return f"[core {self.core}] {self.kind} {extra}".rstrip()
-
-
-class Tracer:
+class Tracer(EventStream):
     """Collects :class:`TraceEvent` objects, optionally bounded."""
 
-    def __init__(self, limit: Optional[int] = None) -> None:
-        self.limit = limit
-        self.events: list[TraceEvent] = []
-        self.dropped = 0
-
-    def emit(self, kind: str, core: int, **detail) -> None:
-        if self.limit is not None and len(self.events) >= self.limit:
-            self.dropped += 1
-            return
-        self.events.append(
-            TraceEvent(kind=kind, core=core, detail=detail)
-        )
-
-    # -- queries -----------------------------------------------------------
-    def of_kind(self, kind: str) -> list[TraceEvent]:
-        return [e for e in self.events if e.kind == kind]
-
-    def per_core(self, core: int) -> list[TraceEvent]:
-        return [e for e in self.events if e.core == core]
-
-    def __len__(self) -> int:
-        return len(self.events)
-
-    def __iter__(self) -> Iterator[TraceEvent]:
-        return iter(self.events)
-
-    def summary(self) -> dict[str, int]:
-        counts: dict[str, int] = {}
-        for event in self.events:
-            counts[event.kind] = counts.get(event.kind, 0) + 1
-        return counts
+    def __init__(
+        self, limit: Optional[int] = None, keep: str = "first"
+    ) -> None:
+        super().__init__(limit=limit, keep=keep)

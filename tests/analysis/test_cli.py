@@ -34,6 +34,28 @@ class TestParser:
         args = build_parser().parse_args(["check", "--smoke"])
         assert args.smoke and not args.no_faults
 
+    def test_trace_export_command(self):
+        args = build_parser().parse_args(
+            ["trace", "export", "figure2", "--system", "datm"]
+        )
+        assert args.trace_command == "export"
+        assert args.workload == "figure2" and args.system == "datm"
+        assert args.output is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_timeline_command(self):
+        args = build_parser().parse_args(
+            ["timeline", "kmeans", "--width", "40"]
+        )
+        assert args.workload == "kmeans" and args.width == 40
+
+    def test_metrics_command(self):
+        args = build_parser().parse_args(["metrics", "kmeans"])
+        assert args.system == "retcon"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["metrics", "figure2"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -123,6 +145,40 @@ class TestCommands:
         assert code == 0
         assert "oracle matrix" in out
         assert "PASS" in out
+
+    def test_trace_export_figure2(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            ["trace", "export", "figure2", "--system", "retcon"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ui.perfetto.dev" in out
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        path = tmp_path / "trace_figure2_retcon.json"
+        assert path.exists()
+        validate_chrome_trace(json.loads(path.read_text()))
+
+    def test_timeline_figure2(self, capsys):
+        code = main(["timeline", "figure2", "--system", "eager-abort"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "core 0" in out
+        assert "contention by block" in out
+        assert "abort attribution" in out
+
+    def test_metrics_command_output(self, capsys):
+        code = main(
+            ["metrics", "kmeans", "--cores", "2", "--scale", "0.1",
+             "--no-cache"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "txn.commits" in out
+        assert "sim.makespan_cycles" in out
 
     def test_run_prints_label_breakdown(self, capsys):
         code = main(

@@ -40,6 +40,21 @@ class TestRenderTimeline:
         out = render_timeline(tracer, ncores=4, width=10)
         assert "core 3" not in out
 
+    def test_core_beyond_ncores_grows_lanes(self):
+        # Regression: a trace from a wider machine (or a stale ncores
+        # argument) used to raise IndexError on lanes[event.core].
+        tracer = Tracer()
+        tracer.emit("begin", 0, cycle=0)
+        tracer.emit("commit", 5, cycle=10)
+        out = render_timeline(tracer, ncores=2, width=10)
+        assert "core 5" in out
+
+    def test_zero_ncores_derived_from_trace(self):
+        tracer = Tracer()
+        tracer.emit("commit", 0, cycle=5)
+        out = render_timeline(tracer, ncores=0, width=10)
+        assert "core 0" in out
+
 
 class TestFigure2Timelines:
     def test_all_systems_rendered(self):

@@ -68,6 +68,27 @@ class TestTracer:
         assert len(tracer) == 2
         assert tracer.dropped == 3
 
+    def test_drops_accounted_per_kind(self):
+        # Regression: drops used to be one scalar, so summary() could
+        # report "0 commits" for a run full of dropped commits.
+        tracer = Tracer(limit=1)
+        tracer.emit("begin", 0)
+        tracer.emit("commit", 0)
+        tracer.emit("commit", 1)
+        tracer.emit("abort", 1, reason="conflict")
+        assert tracer.dropped_by_kind == {"commit": 2, "abort": 1}
+        summary = tracer.summary()
+        assert summary["commit:dropped"] == 2
+        assert summary["abort:dropped"] == 1
+        assert summary["begin"] == 1
+
+    def test_keep_last_ring_buffer(self):
+        tracer = Tracer(limit=2, keep="last")
+        for i in range(4):
+            tracer.emit("begin", 0, n=i)
+        assert [e.detail["n"] for e in tracer.events] == [2, 3]
+        assert tracer.dropped == 2
+
     def test_str_rendering(self):
         tracer = Tracer()
         tracer.emit("steal", 3, block=7, writer=1)
