@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """Watching RETCON work: tracing steals and repairs.
 
-Attaches a :class:`repro.sim.trace.Tracer` to a RETCON machine running
+Attaches a :class:`repro.obs.events.EventStream` to a RETCON machine
+running
 contended counter transactions and prints the event stream — begins,
 steals (a writer invalidating a tracked block), commit-time repairs,
 and the one predictor-training abort.
@@ -15,7 +16,7 @@ from repro.mem.memory import MainMemory
 from repro.sim.config import MachineConfig
 from repro.sim.machine import Machine
 from repro.sim.script import ThreadScript
-from repro.sim.trace import Tracer
+from repro.obs.events import EventStream
 
 COUNTER = 4096
 
@@ -40,7 +41,7 @@ def main() -> None:
     machine = Machine(
         MachineConfig().with_cores(2), "retcon", scripts, memory
     )
-    tracer = Tracer()
+    tracer = EventStream()
     machine.system.tracer = tracer
     machine.run()
 

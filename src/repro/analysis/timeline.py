@@ -1,6 +1,7 @@
 """ASCII execution timelines — the form of the paper's Figure 2.
 
-Renders one lane per core from a :class:`~repro.sim.trace.Tracer`
+Renders one lane per core from a
+:class:`~repro.obs.events.EventStream`
 whose events carry cycle timestamps (the Machine wires the system's
 clock automatically).  Glyphs::
 
@@ -11,7 +12,7 @@ clock automatically).  Glyphs::
 
 from __future__ import annotations
 
-from repro.sim.trace import Tracer
+from repro.obs.events import EventStream
 
 _GLYPHS = {
     "begin": "B",
@@ -24,7 +25,7 @@ _GLYPHS = {
 
 
 def render_timeline(
-    tracer: Tracer, ncores: int, width: int = 72
+    tracer: EventStream, ncores: int, width: int = 72
 ) -> str:
     """Render the trace as per-core lanes scaled to *width* columns.
 
@@ -67,7 +68,7 @@ def render_timeline(
 
 def figure2_tracer(
     system: str, txns_per_core: int = 2, increments: int = 2
-) -> Tracer:
+) -> EventStream:
     """Run the Figure 2 counter scenario on *system* and return the
     trace: two cores repeatedly incrementing one shared counter — the
     canonical conflict the paper's Figure 2 walks through."""
@@ -93,7 +94,7 @@ def figure2_tracer(
             script.add_txn(asm.build(), label="counter")
             script.add_work(3)
         scripts.append(script)
-    tracer = Tracer()
+    tracer = EventStream()
     machine = Machine(
         MachineConfig(ncores=2), system, scripts, memory,
         tracer=tracer,

@@ -161,7 +161,7 @@ def _run_traced(args) -> int:
     an empty trace.
     """
     from repro.exp.engine import run_point_with_trace
-    from repro.sim.trace import Tracer
+    from repro.obs.events import EventStream
 
     point = Point(
         workload=args.workload,
@@ -178,7 +178,7 @@ def _run_traced(args) -> int:
     )
     # Re-bound for display: --trace=N keeps the first N events, with
     # per-kind drop accounting for everything beyond the bound.
-    tracer = Tracer(limit=args.trace if args.trace > 0 else None)
+    tracer = EventStream(limit=args.trace if args.trace > 0 else None)
     for event in events:
         tracer.emit(event.kind, event.core, **event.detail)
     for kind, count in events.dropped_by_kind.items():
@@ -611,6 +611,8 @@ def _cmd_profile(args) -> int:
     """
     from repro.analysis.profile import (
         bench_payload,
+        gate_against,
+        latest_bench,
         profile_smoke,
         write_bench,
     )
@@ -655,6 +657,15 @@ def _cmd_profile(args) -> int:
     if args.output:
         write_bench(args.output, payload)
         print(f"wrote {args.output}")
+    if args.gate:
+        baseline = args.baseline or latest_bench()
+        if baseline is None:
+            print("perf gate: no BENCH_pr*.json baseline found", file=sys.stderr)
+            return 1
+        result = gate_against(payload, baseline)
+        print(result.describe())
+        if not result.ok:
+            return 1
     return 0
 
 
@@ -768,6 +779,16 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "-o", "--output", default=None, metavar="FILE",
         help="write the JSON payload to FILE (e.g. BENCH_pr3.json)",
+    )
+    profile.add_argument(
+        "--gate", action="store_true",
+        help="compare against the newest committed BENCH_pr*.json and "
+             "exit 1 on a >5%% grid cycles/s regression",
+    )
+    profile.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="explicit baseline BENCH json for --gate (default: "
+             "newest BENCH_pr*.json in the repo root)",
     )
 
     fuzz = sub.add_parser(

@@ -38,6 +38,10 @@ class AccessOutcome:
     l1_hit: bool = False
 
 
+#: shared outcome for the L1-hit fast path; never mutate
+_L1_HIT = AccessOutcome(latency=1, l1_hit=True)
+
+
 @dataclass
 class _CoreCaches:
     l1: SetAssocCache
@@ -81,6 +85,8 @@ class CoherenceFabric:
         self.perm_cache_spills = 0
         #: count of genuine overflows (permissions-only cache exhausted too)
         self.overflow_events = 0
+        #: interned no-invalidation AccessOutcomes, keyed by latency
+        self._plain_outcomes: dict[int, AccessOutcome] = {}
 
     # ------------------------------------------------------------------
     # Speculative-bit bookkeeping (conflict detection substrate)
@@ -90,10 +96,17 @@ class CoherenceFabric:
         caches = self.cores[core]
         if write:
             caches.spec_written.add(block)
-            self._spec_writers.setdefault(block, set()).add(core)
+            reverse = self._spec_writers
         else:
             caches.spec_read.add(block)
-            self._spec_readers.setdefault(block, set()).add(core)
+            reverse = self._spec_readers
+        # get-or-create without allocating a default set per call (this
+        # runs once per in-transaction block access).
+        cores = reverse.get(block)
+        if cores is None:
+            reverse[block] = {core}
+        else:
+            cores.add(core)
         line = caches.l1.lookup(block, touch=False)
         if line is not None:
             if write:
@@ -196,16 +209,22 @@ class CoherenceFabric:
         cfg = self.config
         caches = self.cores[core]
         line = caches.l1.lookup(block)
-        holders = self._holders.setdefault(block, set())
-        owner = self._owner.get(block)
 
         if line is not None and (not write or line.writable):
-            # L1 hit with sufficient permission.
-            if write and owner != core:
+            # L1 hit with sufficient permission: the hottest access by
+            # far, so it returns a shared (treat-as-immutable) outcome
+            # and touches no directory structures.  A present L1 line
+            # implies a prior acquire, so the holders entry exists.
+            if write and self._owner.get(block) != core:
                 # Exclusive in L1 but directory stale — cannot happen.
                 self._owner[block] = core
-            return AccessOutcome(latency=1, l1_hit=True)
+            return _L1_HIT
 
+        holders = self._holders.get(block)
+        if holders is None:
+            holders = set()
+            self._holders[block] = holders
+        owner = self._owner.get(block)
         invalidated: list[int] = []
         if line is not None and write:
             # Upgrade miss: S -> M through the directory.
@@ -252,7 +271,48 @@ class CoherenceFabric:
             holders.add(core)
 
         self._install(core, block, writable=write)
+        if not invalidated:
+            # Miss without remote copies: intern the outcome per
+            # latency (outcomes are treat-as-immutable, like _L1_HIT).
+            outcome = self._plain_outcomes.get(latency)
+            if outcome is None:
+                outcome = AccessOutcome(latency=latency)
+                self._plain_outcomes[latency] = outcome
+            return outcome
         return AccessOutcome(latency=latency, invalidated=tuple(invalidated))
+
+    def latency_quote(self, core: int, block: int, write: bool) -> int:
+        """The latency :meth:`acquire` would charge, without performing it.
+
+        A pure read of the directory and cache state: no permissions
+        change hands, no line is installed or invalidated, and no LRU
+        state is touched, so quoting is side-effect-free and an
+        immediately following ``acquire(core, block, write)`` charges
+        exactly the quoted number of cycles.  The event-driven
+        scheduler (and tests reasoning about wakeup times) can price an
+        access without perturbing the fabric.
+        """
+        cfg = self.config
+        caches = self.cores[core]
+        line = caches.l1.lookup(block, touch=False)
+        if line is not None:
+            if not write or line.writable:
+                return 1
+            # Upgrade miss: S -> M through the directory.
+            return cfg.l2_hit_cycles + 2 * cfg.hop_cycles
+        l2_line = caches.l2.lookup(block, touch=False)
+        if l2_line is not None:
+            if not write or l2_line.writable:
+                return cfg.l2_hit_cycles
+            return cfg.l2_hit_cycles + 2 * cfg.hop_cycles
+        holders = self._holders.get(block)
+        owner = self._owner.get(block)
+        remote = (holders - {core}) if holders else set()
+        if not remote and owner is not None and owner != core:
+            remote = {owner}
+        if remote:
+            return cfg.l2_hit_cycles + 3 * cfg.hop_cycles
+        return cfg.l2_hit_cycles + 2 * cfg.hop_cycles + cfg.dram_cycles
 
     def _invalidate_remotes(self, core: int, block: int) -> list[int]:
         holders = self._holders.get(block, set())

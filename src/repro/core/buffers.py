@@ -144,6 +144,12 @@ class SymbolicStoreBuffer:
     def __init__(self, capacity: Optional[int] = 32) -> None:
         self.capacity = capacity
         self._entries: dict[int, SSBEntry] = {}
+        # Entry start addresses per 64-byte region.  Entries are at
+        # most 8 bytes, so any entry overlapping [addr, addr+size)
+        # starts within [addr-7, addr+size) — a window spanning at
+        # most two regions.  Probes visit only the starts actually
+        # present in those regions instead of scanning the window.
+        self._region_starts: dict[int, set[int]] = {}
         #: high-water mark of entries used this transaction (Table 3)
         self.peak = 0
 
@@ -160,15 +166,61 @@ class SymbolicStoreBuffer:
             return entry
         return None
 
+    def has_overlap(self, addr: int, size: int) -> bool:
+        """Does any entry overlap [addr, addr+size)?
+
+        Allocation-free form of ``bool(overlapping(addr, size))`` for
+        the per-load probe that runs on every untracked access.
+        """
+        entries = self._entries
+        if not entries:
+            return False
+        starts = self._region_starts
+        low = (addr - 7) >> 6
+        high = (addr + size - 1) >> 6
+        end = addr + size
+        region = starts.get(low)
+        if region is not None:
+            for start in region:
+                if start < end and entries[start].end > addr:
+                    return True
+        if high != low:
+            region = starts.get(high)
+            if region is not None:
+                for start in region:
+                    if start < end and entries[start].end > addr:
+                        return True
+        return False
+
     def overlapping(self, addr: int, size: int) -> list[SSBEntry]:
         """Return every entry overlapping [addr, addr+size)."""
-        # Entries are at most 8 bytes, so scanning a small window of
-        # start addresses is O(size + 8).
+        entries = self._entries
+        if not entries:
+            return []
+        starts = self._region_starts
+        low = (addr - 7) >> 6
+        high = (addr + size - 1) >> 6
+        end = addr + size
+        # Region sets are unordered; callers see entries in ascending
+        # start-address order (the historical window-scan order), so
+        # each region's starts are sorted.  All starts in the low
+        # region precede those in the high region.
         found = []
-        for start in range(addr - 7, addr + size):
-            entry = self._entries.get(start)
-            if entry is not None and entry.overlaps(addr, size):
-                found.append(entry)
+        region = starts.get(low)
+        if region is not None:
+            for start in sorted(region) if len(region) > 1 else region:
+                if start < end:
+                    entry = entries[start]
+                    if entry.end > addr:
+                        found.append(entry)
+        if high != low:
+            region = starts.get(high)
+            if region is not None:
+                for start in sorted(region) if len(region) > 1 else region:
+                    if start < end:
+                        entry = entries[start]
+                        if entry.end > addr:
+                            found.append(entry)
         return found
 
     def put(
@@ -187,17 +239,37 @@ class SymbolicStoreBuffer:
                 and len(self._entries) >= self.capacity
             ):
                 raise SymbolicStoreBufferFull(addr)
+            region = addr >> 6
+            starts = self._region_starts
+            members = starts.get(region)
+            if members is None:
+                starts[region] = {addr}
+            else:
+                members.add(addr)
         entry = SSBEntry(addr=addr, size=size, value=value, sym=sym)
         self._entries[addr] = entry
-        self.peak = max(self.peak, len(self._entries))
+        n = len(self._entries)
+        if n > self.peak:
+            self.peak = n
         return entry
 
     def remove(self, addr: int) -> Optional[SSBEntry]:
-        return self._entries.pop(addr, None)
+        entry = self._entries.pop(addr, None)
+        if entry is not None:
+            region = addr >> 6
+            members = self._region_starts[region]
+            members.discard(addr)
+            if not members:
+                del self._region_starts[region]
+        return entry
 
     def clear(self) -> None:
         self._entries.clear()
+        self._region_starts.clear()
         self.peak = 0
+
+
+_NO_SYMS: tuple = (None,) * NUM_REGS
 
 
 class SymbolicRegisterFile:
@@ -218,8 +290,10 @@ class SymbolicRegisterFile:
         ]
 
     def clear(self) -> None:
-        for i in range(NUM_REGS):
-            self._syms[i] = None
+        # Slice-assign from a shared template: this runs on every
+        # transaction begin/abort, and the C-level copy beats a Python
+        # loop over the register indices.
+        self._syms[:] = _NO_SYMS
 
 
 @dataclass(slots=True)

@@ -323,7 +323,7 @@ class RetconEngine:
         return self.ssb.overlapping(addr, size)
 
     def has_ssb_overlap(self, addr: int, size: int) -> bool:
-        return bool(self.ssb.overlapping(addr, size))
+        return self.ssb.has_overlap(addr, size)
 
     # ------------------------------------------------------------------
     # Register / ALU tracking
@@ -466,6 +466,11 @@ class RetconEngine:
     # ------------------------------------------------------------------
     def reacquire_plan(self) -> list[tuple[int, bool]]:
         """Step 1 targets: lost blocks (write permission if written)."""
+        if self.blocks_lost_count == 0:
+            # Lost entries stay lost until the transaction ends, so the
+            # counter is an exact emptiness test — the common conflict-free
+            # commit skips the IVB walk.
+            return []
         return [
             (entry.block, entry.written)
             for entry in self.ivb.entries()
@@ -479,20 +484,22 @@ class RetconEngine:
         reacquired bytes.  Raises :class:`ConstraintViolation` on the
         first failure.
         """
-        for entry in self.ivb.entries():
-            current = current_blocks.get(entry.block)
-            if current is None:
-                continue  # never lost: unchanged by construction
-            if entry.equality_violated(current):
-                raise ConstraintViolation(entry.block)
+        if current_blocks:
+            for entry in self.ivb.entries():
+                current = current_blocks.get(entry.block)
+                if current is None:
+                    continue  # never lost: unchanged by construction
+                if entry.equality_violated(current):
+                    raise ConstraintViolation(entry.block)
 
-        root_values = {
-            root: self._final_root_value(root, current_blocks)
-            for root in self.constraints.roots()
-        }
-        violated = self.constraints.check(root_values)
-        if violated is not None:
-            raise ConstraintViolation(block_of(violated[0]))
+        if len(self.constraints):
+            root_values = {
+                root: self._final_root_value(root, current_blocks)
+                for root in self.constraints.roots()
+            }
+            violated = self.constraints.check(root_values)
+            if violated is not None:
+                raise ConstraintViolation(block_of(violated[0]))
 
     def _final_root_value(
         self, root: Root, current_blocks: dict[int, bytes]
@@ -514,30 +521,45 @@ class RetconEngine:
         """
         plan = CommitPlan(reacquire=self.reacquire_plan())
         root_cache: dict[Root, int] = {}
-
-        def root_value(root: Root) -> int:
-            if root not in root_cache:
-                root_cache[root] = self._final_root_value(
-                    root, current_blocks
-                )
-            return root_cache[root]
-
+        final_root = self._final_root_value
+        stores = plan.stores
         for entry in self.ssb.entries():
-            if entry.sym is None:
+            sym = entry.sym
+            if sym is None:
                 final = entry.value
             else:
-                final = entry.sym.evaluate(root_value(entry.sym.root))
-            plan.stores.append((entry.addr, entry.size, final))
+                root = sym.root
+                base = root_cache.get(root)
+                if base is None:
+                    base = root_cache[root] = final_root(
+                        root, current_blocks
+                    )
+                final = sym.evaluate(base)
+            stores.append((entry.addr, entry.size, final))
 
-        for reg, sym in self.sregs.symbolic_regs():
-            plan.registers.append((reg, sym.evaluate(root_value(sym.root))))
+        syms = self.sregs._syms
+        if syms.count(None) != len(syms):
+            registers = plan.registers
+            for reg, sym in enumerate(syms):
+                if sym is None:
+                    continue
+                root = sym.root
+                base = root_cache.get(root)
+                if base is None:
+                    base = root_cache[root] = final_root(
+                        root, current_blocks
+                    )
+                registers.append((reg, sym.evaluate(base)))
         return plan
 
     def mark_written_blocks(self) -> None:
         """Set IVB written bits for blocks with pending SSB stores
         (§4.4 upgrade-miss avoidance)."""
+        if not len(self.ssb) or not len(self.ivb):
+            return
+        ivb_get = self.ivb.get
         for entry in self.ssb.entries():
-            ivb_entry = self.ivb.get(block_of(entry.addr))
+            ivb_entry = ivb_get(block_of(entry.addr))
             if ivb_entry is not None:
                 ivb_entry.written = True
 
@@ -545,13 +567,15 @@ class RetconEngine:
     # Statistics (Table 3)
     # ------------------------------------------------------------------
     def sample(self, commit_cycles: int = 0) -> TxnRetconSample:
-        equality_addresses = sum(
-            1 for e in self.ivb.entries() if e.equality_words
-        )
+        equality_addresses = 0
+        for e in self.ivb.entries():
+            if e.equality_words:
+                equality_addresses += 1
+        syms = self.sregs._syms
         return TxnRetconSample(
             blocks_lost=self.blocks_lost_count,
             blocks_tracked=len(self.ivb),
-            symbolic_registers=len(self.sregs.symbolic_regs()),
+            symbolic_registers=len(syms) - syms.count(None),
             private_stores=len(self.ssb),
             constraint_addresses=len(self.constraints) + equality_addresses,
             commit_cycles=commit_cycles,

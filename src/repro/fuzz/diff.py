@@ -40,7 +40,7 @@ from repro.mem.memory import MainMemory
 from repro.sim.config import MachineConfig
 from repro.sim.machine import Machine, SimulationTimeout
 from repro.sim.script import ThreadScript
-from repro.sim.trace import Tracer
+from repro.obs.events import EventStream
 
 #: the default differential matrix (ISSUE acceptance: >= 3 backends)
 DEFAULT_BACKENDS = ("eager", "lazy-vb", "retcon")
@@ -121,7 +121,7 @@ class CaseOutcome:
 
 def _commit_order_replay(
     case: FuzzCase,
-    tracer: Tracer,
+    tracer: EventStream,
     initial: MainMemory,
     config: MachineConfig,
 ) -> tuple[Optional[MainMemory], Optional[str]]:
@@ -182,7 +182,7 @@ def run_case(
 
     expected_txns = case.txn_count()
     for backend in backends:
-        tracer = Tracer()
+        tracer = EventStream()
         machine = Machine(
             config.with_cores(case.nthreads),
             backend,

@@ -30,6 +30,14 @@ class Resolution:
     action: Action
 
 
+# Resolutions are frozen and carry no per-conflict state, so the
+# policies below hand out these shared instances instead of allocating
+# one per resolved conflict (resolution runs on every stall retry).
+_ABORT_SELF = Resolution(Action.ABORT_SELF)
+_ABORT_REMOTE = Resolution(Action.ABORT_REMOTE)
+_STALL = Resolution(Action.STALL)
+
+
 class ContentionPolicy:
     """Interface: decide what happens when *requester* hits *holder*.
 
@@ -76,10 +84,10 @@ class TimestampPolicy(ContentionPolicy):
         holder_id: int = -1,
     ) -> Resolution:
         if requester_nontx or requester_ts < holder_ts:
-            return Resolution(Action.ABORT_REMOTE)
+            return _ABORT_REMOTE
         if requester_ts == holder_ts and 0 <= requester_id < holder_id:
-            return Resolution(Action.ABORT_REMOTE)
-        return Resolution(Action.STALL)
+            return _ABORT_REMOTE
+        return _STALL
 
 
 class RequesterAbortsPolicy(ContentionPolicy):
@@ -96,8 +104,8 @@ class RequesterAbortsPolicy(ContentionPolicy):
         holder_id: int = -1,
     ) -> Resolution:
         if requester_nontx:
-            return Resolution(Action.ABORT_REMOTE)
-        return Resolution(Action.ABORT_SELF)
+            return _ABORT_REMOTE
+        return _ABORT_SELF
 
 
 class RequesterStallsPolicy(ContentionPolicy):
@@ -119,8 +127,8 @@ class RequesterStallsPolicy(ContentionPolicy):
         holder_id: int = -1,
     ) -> Resolution:
         if requester_nontx:
-            return Resolution(Action.ABORT_REMOTE)
-        return Resolution(Action.STALL)
+            return _ABORT_REMOTE
+        return _STALL
 
 
 POLICIES = {

@@ -6,14 +6,21 @@ from __future__ import annotations
 class StallRetry(Exception):
     """The access conflicts and the requester must wait and retry.
 
-    The core charges the configured stall-retry latency (attributed to
-    conflict time) and re-executes the same instruction.
+    This is the scheduler's *stall ticket*: it names the contended
+    block and the blocking cores, and the core that catches it charges
+    the (backed-off) retry latency to conflict time, advancing its own
+    cycle to the wakeup point — which is exactly the event the machine
+    scheduler's wakeup queue then re-arms.  Raised on every retrying
+    access, so the message is formatted lazily.
     """
 
     def __init__(self, block: int, blockers: set[int]) -> None:
-        super().__init__(f"stall on block {block} (held by {blockers})")
+        Exception.__init__(self)
         self.block = block
         self.blockers = blockers
+
+    def __str__(self) -> str:
+        return f"stall on block {self.block} (held by {self.blockers})"
 
 
 class TxnAborted(Exception):

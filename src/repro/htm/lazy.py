@@ -21,6 +21,7 @@ from repro.htm.system import (
     CommitResult,
     LoadResult,
     StoreResult,
+    _STORE_HIT,
 )
 from repro.mem.address import blocks_spanned
 
@@ -98,7 +99,7 @@ class LazyTMSystem(BaseTMSystem):
         if not ctx.active:
             return super().store(core, addr, size, value)
         self._write_buffers[core][addr] = (size, value)
-        return StoreResult(latency=1)
+        return _STORE_HIT
 
     # ------------------------------------------------------------------
     def _pre_commit(self, core: int) -> CommitResult:

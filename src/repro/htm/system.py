@@ -31,11 +31,11 @@ from repro.core.engine import (
     RetconEngine,
 )
 from repro.core.predictor import ConflictPredictor
-from repro.core.symvalue import SymValue
+from repro.core.symvalue import SymValue, sym_root
 from repro.htm.contention import Action, ContentionPolicy, get_policy
 from repro.htm.events import StallRetry, TxnAborted
 from repro.htm.versioning import UndoLog
-from repro.mem.address import block_of, blocks_spanned
+from repro.mem.address import BLOCK_SIZE, block_of
 from repro.mem.memory import MainMemory
 from repro.sim.config import MachineConfig
 from repro.sim.stats import MachineStats
@@ -67,11 +67,19 @@ class StoreResult:
     latency: int
 
 
+#: shared result for the ubiquitous 1-cycle store hit; never mutate
+_STORE_HIT = StoreResult(latency=1)
+
+
 @dataclass(slots=True)
 class CommitResult:
     latency: int
     #: (reg, value) register repairs RETCON computed at commit
     register_repairs: list[tuple[int, int]] = field(default_factory=list)
+
+
+#: shared result for the baseline's free commit; never mutate
+_COMMIT_FREE = CommitResult(latency=0)
 
 
 class BaseTMSystem:
@@ -102,7 +110,11 @@ class BaseTMSystem:
         self._next_ts = 0
         #: wait-for edges for deadlock detection under stalling policies
         self._waiting_on: dict[int, int] = {}
-        #: optional :class:`repro.sim.trace.Tracer`
+        #: bumped on every wait-graph mutation; stall tickets pin it so
+        #: a replayed stall never skips a deadlock walk whose input
+        #: (this graph) changed since the ticket was minted
+        self._waiting_version = 0
+        #: optional :class:`repro.obs.events.EventStream`
         self.tracer = None
         #: optional callable core -> current cycle (set by the Machine
         #: so trace events carry timestamps)
@@ -173,7 +185,8 @@ class BaseTMSystem:
             engine.begin_txn()
         if self.metrics is not None:
             self._m_begins.inc()
-        self._trace("begin", core, ts=ctx.ts, restart=restart)
+        if self.tracer is not None:
+            self._trace("begin", core, ts=ctx.ts, restart=restart)
 
     def in_txn(self, core: int) -> bool:
         return self.ctx[core].active
@@ -199,10 +212,17 @@ class BaseTMSystem:
         self._observe_conflict(core, block, holders)
         if self.metrics is not None:
             self._m_conflicts.inc()
-        self._trace("conflict", core, block=block, holders=len(holders))
+        if self.tracer is not None:
+            self._trace(
+                "conflict", core, block=block, holders=len(holders)
+            )
         self._resolving_block = block
         try:
-            for holder in sorted(holders):
+            # sorted() only matters with several holders; the common
+            # single-holder case iterates the set directly.
+            for holder in (
+                holders if len(holders) == 1 else sorted(holders)
+            ):
                 holder_ctx = self.ctx[holder]
                 if not holder_ctx.active:
                     continue  # already gone (e.g. aborted for a prior holder)
@@ -228,11 +248,15 @@ class BaseTMSystem:
                 elif action is Action.ABORT_SELF:
                     self._abort_self(core, reason="conflict")
                 else:
-                    self._waiting_on[core] = holder
+                    waiting = self._waiting_on
+                    if waiting.get(core) != holder:
+                        waiting[core] = holder
+                        self._waiting_version += 1
                     raise StallRetry(block, {holder})
         finally:
             self._resolving_block = None
-        self._waiting_on.pop(core, None)
+        if self._waiting_on.pop(core, None) is not None:
+            self._waiting_version += 1
 
     def _check_self_doom(self, core: int) -> None:
         """Abort immediately if resolving a conflict doomed *us*.
@@ -259,14 +283,19 @@ class BaseTMSystem:
         ``_would_deadlock`` walk a cycle that no longer exists and
         abort a transaction over a phantom deadlock.
         """
-        self._waiting_on.pop(core, None)
+        waiting = self._waiting_on
+        if not waiting:
+            return
+        removed = waiting.pop(core, None) is not None
         stale = [
             requester
-            for requester, holder in self._waiting_on.items()
+            for requester, holder in waiting.items()
             if holder == core
         ]
         for requester in stale:
-            del self._waiting_on[requester]
+            del waiting[requester]
+        if removed or stale:
+            self._waiting_version += 1
 
     def _would_deadlock(self, requester: int, holder: int) -> bool:
         seen = set()
@@ -353,8 +382,47 @@ class BaseTMSystem:
     # Memory operations (baseline / eager paths)
     # ------------------------------------------------------------------
     def load(self, core: int, addr: int, size: int) -> LoadResult:
+        block = addr // BLOCK_SIZE
+        if (addr + size - 1) // BLOCK_SIZE == block:
+            # Single-block L1-hit fast path: the conflict probe is
+            # clean, no transaction has overflowed, and the line is
+            # resident — exactly the path _eager_block_access +
+            # fabric.acquire take, with their call overhead inlined
+            # away.  A read conflicts only with remote speculative
+            # writers, and _spec_writers entries are never empty, so
+            # "no conflict" is writers absent or == {core}.
+            fabric = self.fabric
+            writers = fabric._spec_writers.get(block)
+            if (
+                writers is None
+                or (core in writers and len(writers) == 1)
+            ) and not fabric.overflowed:
+                line = fabric.cores[core].l1.lookup(block)
+                if line is not None:
+                    if self._waiting_on and (
+                        self._waiting_on.pop(core, None) is not None
+                    ):
+                        self._waiting_version += 1
+                    ctx = self.ctx[core]
+                    if ctx.active:
+                        # See store: a set line bit means this exact
+                        # mark_spec already ran.
+                        if not line.spec_read:
+                            fabric.mark_spec(core, block, False)
+                        mode = ctx.block_mode
+                        if block not in mode:
+                            mode[block] = "eager"
+                    return LoadResult(
+                        value=self.memory.read(addr, size), latency=1
+                    )
+            latency = self._eager_block_access(core, block, write=False)
+            return LoadResult(
+                value=self.memory.read(addr, size), latency=latency
+            )
         latency = 0
-        for block in blocks_spanned(addr, size):
+        for block in range(
+            addr // BLOCK_SIZE, (addr + size - 1) // BLOCK_SIZE + 1
+        ):
             latency += self._eager_block_access(core, block, write=False)
         return LoadResult(value=self.memory.read(addr, size), latency=latency)
 
@@ -366,9 +434,52 @@ class BaseTMSystem:
         value: int,
         sym: Optional[SymValue] = None,
     ) -> StoreResult:
-        latency = 0
-        for block in blocks_spanned(addr, size):
-            latency += self._eager_block_access(core, block, write=True)
+        block = addr // BLOCK_SIZE
+        if (addr + size - 1) // BLOCK_SIZE == block:
+            # Single-block L1-hit fast path (see load); a write also
+            # needs a clean reader probe, a writable line, and the
+            # directory-owner fix-up acquire's hit path performs.
+            fabric = self.fabric
+            writers = fabric._spec_writers.get(block)
+            clean = (
+                writers is None
+                or (core in writers and len(writers) == 1)
+            )
+            if clean:
+                readers = fabric._spec_readers.get(block)
+                clean = readers is None or (
+                    core in readers and len(readers) == 1
+                )
+            if clean and not fabric.overflowed:
+                line = fabric.cores[core].l1.lookup(block)
+                if line is not None and line.writable:
+                    if self._waiting_on and (
+                        self._waiting_on.pop(core, None) is not None
+                    ):
+                        self._waiting_version += 1
+                    if fabric._owner.get(block) != core:
+                        fabric._owner[block] = core
+                    ctx = self.ctx[core]
+                    if ctx.active:
+                        # line.spec_written set implies mark_spec already
+                        # ran for (core, block): the per-core set, the
+                        # reverse map, and the line bit are maintained
+                        # together, so re-marking would be a no-op.
+                        if not line.spec_written:
+                            fabric.mark_spec(core, block, True)
+                        mode = ctx.block_mode
+                        if block not in mode:
+                            mode[block] = "eager"
+                        ctx.undo.record(self.memory, addr, size)
+                    self.memory.write(addr, value, size)
+                    return _STORE_HIT
+            latency = self._eager_block_access(core, block, write=True)
+        else:
+            latency = 0
+            for blk in range(
+                addr // BLOCK_SIZE, (addr + size - 1) // BLOCK_SIZE + 1
+            ):
+                latency += self._eager_block_access(core, blk, write=True)
         ctx = self.ctx[core]
         if ctx.active:
             ctx.undo.record(self.memory, addr, size)
@@ -377,17 +488,37 @@ class BaseTMSystem:
 
     def _eager_block_access(self, core: int, block: int, write: bool) -> int:
         """Resolve conflicts and perform one block's coherence access."""
-        ctx = self.ctx[core]
-        conflicts = self._conflicts(core, block, write)
-        if conflicts:
-            self._resolve(core, block, conflicts)
+        fabric = self.fabric
+        # Allocation-free conflict probe; exactly equivalent to
+        # ``bool(self._conflicts(core, block, write))``, which builds
+        # its set only on the (rare) conflicting access.
+        writers = fabric._spec_writers.get(block)
+        conflict = writers is not None and (
+            len(writers) > 1 or core not in writers
+        )
+        if not conflict and write:
+            readers = fabric._spec_readers.get(block)
+            conflict = readers is not None and (
+                len(readers) > 1 or core not in readers
+            )
+        if not conflict and fabric.overflowed:
+            for other in fabric.overflowed:
+                if other != core and self.ctx[other].active:
+                    conflict = True
+                    break
+        if conflict:
+            self._resolve(core, block, self._conflicts(core, block, write))
             self._check_self_doom(core)
-        self._waiting_on.pop(core, None)
-        outcome = self.fabric.acquire(core, block, write=write)
+        if self._waiting_on.pop(core, None) is not None:
+            self._waiting_version += 1
+        outcome = fabric.acquire(core, block, write)
+        ctx = self.ctx[core]
         if ctx.active:
-            self.fabric.mark_spec(core, block, write=write)
-            ctx.block_mode.setdefault(block, "eager")
-        if write:
+            fabric.mark_spec(core, block, write)
+            mode = ctx.block_mode
+            if block not in mode:
+                mode[block] = "eager"
+        if write and outcome.invalidated:
             self._notify_trackers(core, block, outcome.invalidated)
         return outcome.latency
 
@@ -423,12 +554,13 @@ class BaseTMSystem:
         self.stats.core(core).commits += 1
         if self.metrics is not None:
             self._m_commits.inc()
-        self._trace("commit", core, latency=result.latency)
+        if self.tracer is not None:
+            self._trace("commit", core, latency=result.latency)
         return result
 
     def _pre_commit(self, core: int) -> CommitResult:
         """Hook: RETCON's pre-commit repair. Baseline commits in 0 cycles."""
-        return CommitResult(latency=0)
+        return _COMMIT_FREE
 
 
 class RetconTMSystem(BaseTMSystem):
@@ -491,21 +623,20 @@ class RetconTMSystem(BaseTMSystem):
         The block's current bytes must be architecturally committed:
         if a remote eager writer holds it speculatively, fall back to
         the baseline path (which will detect the conflict).
+
+        Both callers already verify the access fits in one block and
+        that the block has no recorded access mode, so only the
+        predictor and speculation checks happen here.
         """
-        ctx = self.ctx[core]
         engine = self._engines[core]
-        block = block_of(addr)
-        if block in ctx.block_mode:
-            return -1
-        if not self._fits_tracked(addr, size):
-            return -1
+        block = addr // BLOCK_SIZE
         if not engine.wants_tracking(block):
             return -1
         if self.fabric.has_other_spec_writer(block, core):
             return -1
         outcome = self.fabric.acquire(core, block, write=False)
         engine.start_tracking(block, self.memory.read_block(block))
-        ctx.block_mode[block] = "tracked"
+        self.ctx[core].block_mode[block] = "tracked"
         return outcome.latency
 
     def _capacity_abort(self, core: int) -> None:
@@ -536,24 +667,46 @@ class RetconTMSystem(BaseTMSystem):
         if not ctx.active:
             return super().load(core, addr, size)
 
-        block = block_of(addr)
-        if engine.is_tracked(block) and self._fits_tracked(addr, size):
-            value, sym = engine.load_tracked(addr, size)
-            return LoadResult(value=value, latency=1, sym=sym)
+        block = addr // BLOCK_SIZE
+        fits = (addr + size - 1) // BLOCK_SIZE == block
+        if fits:
+            entry = engine.ivb._entries.get(block)
+            if entry is not None:
+                ssb_entries = engine.ssb._entries
+                if ssb_entries:
+                    # Store-to-load bypass probe inline; anything more
+                    # involved (overlap merges) goes through the full
+                    # tracked-load path.
+                    exact = ssb_entries.get(addr)
+                    if exact is not None and exact.size == size:
+                        return LoadResult(
+                            value=exact.value, latency=1, sym=exact.sym
+                        )
+                    value, sym = engine.load_tracked(addr, size)
+                    return LoadResult(value=value, latency=1, sym=sym)
+                # Empty SSB: load_tracked's no-overlap arm, inlined.
+                value = entry.read_initial(addr, size)
+                if not engine.symbolic_arithmetic:
+                    entry.mark_equality(addr, size)
+                    return LoadResult(value=value, latency=1)
+                return LoadResult(
+                    value=value, latency=1, sym=sym_root(addr, size)
+                )
 
         # A symbolic store may have gone to an untracked address; the
         # SSB is checked in parallel with the cache for every load.
-        if engine.has_ssb_overlap(addr, size):
+        if engine.ssb._entries and engine.has_ssb_overlap(addr, size):
             value, sym, hit = engine.load_untracked_with_ssb(
                 addr, size, self.memory.read_bytes(addr, size)
             )
             if hit:
                 return LoadResult(value=value, latency=1, sym=sym)
 
-        fetch = self._try_start_tracking(core, addr, size)
-        if fetch >= 0:
-            value, sym = engine.load_tracked(addr, size)
-            return LoadResult(value=value, latency=fetch, sym=sym)
+        if fits and block not in ctx.block_mode:
+            fetch = self._try_start_tracking(core, addr, size)
+            if fetch >= 0:
+                value, sym = engine.load_tracked(addr, size)
+                return LoadResult(value=value, latency=fetch, sym=sym)
 
         return super().load(core, addr, size)
 
@@ -570,12 +723,13 @@ class RetconTMSystem(BaseTMSystem):
         if not ctx.active:
             return super().store(core, addr, size, value, sym=None)
 
-        block = block_of(addr)
+        block = addr // BLOCK_SIZE
         if not self.symbolic_arithmetic:
             sym = None
 
-        tracked = engine.is_tracked(block) and self._fits_tracked(addr, size)
-        if not tracked:
+        fits = (addr + size - 1) // BLOCK_SIZE == block
+        tracked = fits and block in engine.ivb._entries
+        if not tracked and fits and block not in ctx.block_mode:
             fetch = self._try_start_tracking(core, addr, size)
             if fetch >= 0:
                 tracked = True
@@ -593,7 +747,7 @@ class RetconTMSystem(BaseTMSystem):
                 )
             except CapacityAbort:
                 self._capacity_abort(core)
-            return StoreResult(latency=1)
+            return _STORE_HIT
 
         # Normal (eager) store.  It must not bypass older buffered
         # stores to overlapping bytes: exact matches invalidate the SSB
@@ -611,7 +765,7 @@ class RetconTMSystem(BaseTMSystem):
                 )
             except CapacityAbort:
                 self._capacity_abort(core)
-            return StoreResult(latency=1)
+            return _STORE_HIT
 
         return super().store(core, addr, size, value, sym=None)
 
@@ -637,7 +791,7 @@ class RetconTMSystem(BaseTMSystem):
                 self._check_self_doom(core)
             outcome = self.fabric.acquire(core, block, write=needs_write)
             reacquire_latencies.append(outcome.latency)
-            if needs_write:
+            if needs_write and outcome.invalidated:
                 self._notify_trackers(core, block, outcome.invalidated)
             current[block] = self.memory.read_block(block)
         latency += (
@@ -662,29 +816,32 @@ class RetconTMSystem(BaseTMSystem):
         if self.oracle is not None:
             self.oracle.check_commit(core, engine, ctx.undo, plan, self.memory)
 
-        # Resolve every drain conflict before touching memory so a
-        # stall cannot leave a half-drained commit visible.
-        drain_blocks = sorted(
-            {block_of(addr) for addr, _size, _val in plan.stores}
-        )
-        for block in drain_blocks:
-            conflicts = self._conflicts(core, block, write=True)
-            if conflicts:
-                self._resolve(core, block, conflicts)
-                self._check_self_doom(core)
+        if plan.stores:
+            # Resolve every drain conflict before touching memory so a
+            # stall cannot leave a half-drained commit visible.
+            drain_blocks = sorted(
+                {block_of(addr) for addr, _size, _val in plan.stores}
+            )
+            for block in drain_blocks:
+                conflicts = self._conflicts(core, block, write=True)
+                if conflicts:
+                    self._resolve(core, block, conflicts)
+                    self._check_self_doom(core)
 
-        # Step 2: drain stores (serially, after all reacquires) and
-        # compute register repairs.
-        for addr, size, final_value in plan.stores:
-            block = block_of(addr)
-            outcome = self.fabric.acquire(core, block, write=True)
-            self._notify_trackers(core, block, outcome.invalidated)
-            if not idealized:
-                latency += max(1, outcome.latency)
-            self.memory.write(addr, final_value, size)
-            if self.metrics is not None:
-                self._m_repairs.inc()
-            self._trace("repair", core, addr=addr, value=final_value)
+            # Step 2: drain stores (serially, after all reacquires) and
+            # compute register repairs.
+            for addr, size, final_value in plan.stores:
+                block = block_of(addr)
+                outcome = self.fabric.acquire(core, block, write=True)
+                if outcome.invalidated:
+                    self._notify_trackers(core, block, outcome.invalidated)
+                if not idealized:
+                    latency += max(1, outcome.latency)
+                self.memory.write(addr, final_value, size)
+                if self.metrics is not None:
+                    self._m_repairs.inc()
+                if self.tracer is not None:
+                    self._trace("repair", core, addr=addr, value=final_value)
 
         sample = engine.sample(commit_cycles=latency)
         self.stats.record_retcon_sample(core, sample)

@@ -65,15 +65,16 @@ class SetAssocCache:
         self.assoc = assoc
         self.num_sets = size_bytes // (assoc * block_size)
         self._sets: dict[int, dict[int, CacheLine]] = {}
+        # Flat block -> line mirror of _sets, so the (very hot) lookup
+        # path is a single dict probe; _sets remains the authority for
+        # set occupancy and victim selection.
+        self._lines: dict[int, CacheLine] = {}
         self._tick = 0
         #: capacity evictions performed by :meth:`insert` (read by the
         #: observability layer's end-of-run collection)
         self.evictions = 0
 
     # -- internals -----------------------------------------------------------
-    def _set_for(self, block: int) -> dict[int, CacheLine]:
-        return self._sets.setdefault(block % self.num_sets, {})
-
     def _touch(self, line: CacheLine) -> None:
         self._tick += 1
         line.lru = self._tick
@@ -81,10 +82,7 @@ class SetAssocCache:
     # -- lookup / insert -------------------------------------------------------
     def lookup(self, block: int, touch: bool = True) -> Optional[CacheLine]:
         """Return the line holding *block*, or None on a miss."""
-        cache_set = self._sets.get(block % self.num_sets)
-        if cache_set is None:
-            return None
-        line = cache_set.get(block)
+        line = self._lines.get(block)
         if line is not None and touch:
             self._tick += 1
             line.lru = self._tick
@@ -121,30 +119,38 @@ class SetAssocCache:
         speculative (the HTM layer then spills the victim's bits to the
         permissions-only cache, or declares overflow).
         """
-        existing = self.lookup(block)
+        existing = self._lines.get(block)
         if existing is not None:
+            self._tick += 1
+            existing.lru = self._tick
             existing.writable = existing.writable or writable
             return existing, None
 
-        cache_set = self._set_for(block)
+        index = block % self.num_sets
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            cache_set = {}
+            self._sets[index] = cache_set
         evicted: Optional[CacheLine] = None
         if len(cache_set) >= self.assoc:
             evicted = self._pick_victim(cache_set)
             del cache_set[evicted.block]
+            del self._lines[evicted.block]
             self.evictions += 1
 
         line = CacheLine(block=block, writable=writable)
         self._touch(line)
         cache_set[block] = line
+        self._lines[block] = line
         return line, evicted
 
     # -- invalidation / downgrade ------------------------------------------------
     def invalidate(self, block: int) -> Optional[CacheLine]:
         """Drop *block*; return the removed line (with its spec bits)."""
-        cache_set = self._sets.get(block % self.num_sets)
-        if cache_set is None:
-            return None
-        return cache_set.pop(block, None)
+        line = self._lines.pop(block, None)
+        if line is not None:
+            del self._sets[block % self.num_sets][block]
+        return line
 
     def downgrade(self, block: int) -> None:
         """Drop write permission for *block* (block stays readable)."""
@@ -155,17 +161,15 @@ class SetAssocCache:
     # -- speculation support --------------------------------------------------
     def speculative_lines(self) -> Iterator[CacheLine]:
         """Iterate all lines with a speculative bit set."""
-        for cache_set in self._sets.values():
-            for line in cache_set.values():
-                if line.speculative:
-                    yield line
+        for line in self._lines.values():
+            if line.speculative:
+                yield line
 
     def clear_speculative_bits(self) -> None:
         """Clear all speculative read/written bits (commit or abort)."""
-        for cache_set in self._sets.values():
-            for line in cache_set.values():
-                line.spec_read = False
-                line.spec_written = False
+        for line in self._lines.values():
+            line.spec_read = False
+            line.spec_written = False
 
     def clear_speculative_blocks(self, blocks) -> None:
         """Clear speculative bits on *blocks* only.
@@ -174,25 +178,19 @@ class SetAssocCache:
         touched speculatively, so commit/abort clears those lines
         directly instead of sweeping the whole cache.
         """
+        lines = self._lines
         for block in blocks:
-            cache_set = self._sets.get(block % self.num_sets)
-            if cache_set is None:
-                continue
-            line = cache_set.get(block)
+            line = lines.get(block)
             if line is not None:
                 line.spec_read = False
                 line.spec_written = False
 
     # -- introspection --------------------------------------------------------
     def resident_blocks(self) -> list[int]:
-        return sorted(
-            block
-            for cache_set in self._sets.values()
-            for block in cache_set
-        )
+        return sorted(self._lines)
 
     def __contains__(self, block: int) -> bool:
-        return self.lookup(block, touch=False) is not None
+        return block in self._lines
 
 
 class PermissionsOnlyCache(SetAssocCache):

@@ -12,6 +12,13 @@ from repro.mem.address import BLOCK_SIZE, block_base, block_of
 
 _VALID_SIZES = (1, 2, 4, 8)
 
+# Shift/mask forms of the block arithmetic for the single-block fast
+# paths (BLOCK_SIZE is a power of two; >> and & match floor division
+# and modulo for negative addresses too).
+_BLOCK_SHIFT = BLOCK_SIZE.bit_length() - 1
+_BLOCK_MASK = BLOCK_SIZE - 1
+assert 1 << _BLOCK_SHIFT == BLOCK_SIZE
+
 
 class MainMemory:
     """Architectural memory state shared by all cores."""
@@ -31,6 +38,14 @@ class MainMemory:
     # -- raw byte access ---------------------------------------------------
     def read_bytes(self, addr: int, size: int) -> bytes:
         """Read *size* raw bytes starting at *addr* (may span blocks)."""
+        offset = addr & _BLOCK_MASK
+        if offset + size <= BLOCK_SIZE:
+            block = addr >> _BLOCK_SHIFT
+            data = self._blocks.get(block)
+            if data is None:
+                data = bytearray(BLOCK_SIZE)
+                self._blocks[block] = data
+            return bytes(data[offset:offset + size])
         out = bytearray()
         remaining = size
         while remaining > 0:
@@ -63,6 +78,16 @@ class MainMemory:
         """Read a signed little-endian integer of *size* bytes."""
         if size not in _VALID_SIZES:
             raise ValueError(f"unsupported access size: {size}")
+        offset = addr & _BLOCK_MASK
+        if offset + size <= BLOCK_SIZE:
+            block = addr >> _BLOCK_SHIFT
+            data = self._blocks.get(block)
+            if data is None:
+                data = bytearray(BLOCK_SIZE)
+                self._blocks[block] = data
+            return int.from_bytes(
+                data[offset:offset + size], "little", signed=True
+            )
         return int.from_bytes(
             self.read_bytes(addr, size), "little", signed=True
         )
@@ -76,6 +101,17 @@ class MainMemory:
         if size not in _VALID_SIZES:
             raise ValueError(f"unsupported access size: {size}")
         mask = (1 << (8 * size)) - 1
+        offset = addr & _BLOCK_MASK
+        if offset + size <= BLOCK_SIZE:
+            block = addr >> _BLOCK_SHIFT
+            data = self._blocks.get(block)
+            if data is None:
+                data = bytearray(BLOCK_SIZE)
+                self._blocks[block] = data
+            data[offset:offset + size] = (value & mask).to_bytes(
+                size, "little"
+            )
+            return
         self.write_bytes(addr, (value & mask).to_bytes(size, "little"))
 
     # -- copying ----------------------------------------------------------

@@ -5,8 +5,9 @@ The layer the evaluation's artifacts are built from (see
 
 * :mod:`repro.obs.events` — the structured event stream: bounded
   collection with per-kind drop accounting, cycle-stamped from the
-  machine clock.  :class:`repro.sim.trace.Tracer` is now a thin
-  backwards-compatible subclass.
+  machine clock.  This is the tracer: attach an
+  :class:`~repro.obs.events.EventStream` as ``system.tracer`` (the
+  legacy ``repro.sim.trace.Tracer`` shim is gone).
 * :mod:`repro.obs.metrics` — a typed metrics registry (counters,
   gauges, histograms) flushed at transaction boundaries only, zero
   cost when not attached.

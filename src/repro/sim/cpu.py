@@ -15,7 +15,8 @@ from typing import Optional
 
 from repro.core.buffers import ConditionCodes
 from repro.htm.events import StallRetry, TxnAborted
-from repro.htm.system import BaseTMSystem
+from repro.htm.system import BaseTMSystem, RetconTMSystem
+from repro.mem.address import BLOCK_SIZE
 from repro.isa.instructions import (
     Imm,
     Reg,
@@ -35,6 +36,7 @@ from repro.sim.decode import (
     K_NOP,
     K_OP,
     K_STORE,
+    chain_for,
     decoded_for,
 )
 from repro.sim.script import Barrier, ThreadScript, Txn, Work
@@ -49,6 +51,37 @@ class CoreState(enum.Enum):
 
 class Core:
     """One simulated in-order processor."""
+
+    __slots__ = (
+        "cid",
+        "system",
+        "stats",
+        "items",
+        "config",
+        "engine",
+        "cc",
+        "regs",
+        "cycle",
+        "state",
+        "item_idx",
+        "pc",
+        "in_txn",
+        "restarting",
+        "attempt_busy",
+        "attempt_conflict",
+        "attempt_stall_events",
+        "attempt_start",
+        "consecutive_aborts",
+        "consecutive_stalls",
+        "_txn_regs",
+        "_decoded_program",
+        "_decoded",
+        "_chain_program",
+        "_chain",
+        "_fast_poll",
+        "_burst_env",
+        "_stall_ticket",
+    )
 
     def __init__(
         self,
@@ -88,6 +121,21 @@ class Core:
         # decoded list itself is shared across cores via the Program).
         self._decoded_program = None
         self._decoded: list[tuple] = []
+        # Handler-chain cache, same discipline (chains are shared
+        # across cores via the Program, one variant per engine-ness).
+        self._chain_program = None
+        self._chain: list = []
+        # The burst loop inlines the doom poll only when the system
+        # uses the base implementation (no subclass overrides it today;
+        # this keeps the fast path honest if one ever does).
+        self._fast_poll = (
+            type(system).poll_doomed is BaseTMSystem.poll_doomed
+        )
+        # Burst-invariant environment, recomputed at each run_until
+        # call that finds it unset; the machine clears it at run start
+        # (observers like tracers attach between construction and run).
+        self._burst_env: Optional[tuple] = None
+        self._stall_ticket: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     def done(self) -> bool:
@@ -119,6 +167,357 @@ class Core:
 
         assert isinstance(item, Txn)
         self._step_txn(item)
+
+    # ------------------------------------------------------------------
+    def run_until(self, stop_cycle: int, stop_cid: int, watchdog: int) -> None:
+        """Execute scheduling steps until overtaken, parked, or done.
+
+        This is the event-driven scheduler's burst loop: the machine
+        pops this core as the (cycle, cid) minimum and lets it run
+        *consecutive* steps for as long as it would remain the minimum,
+        i.e. while ``(self.cycle, self.cid) < (stop_cycle, stop_cid)``
+        where the stop pair is the next wakeup event in the machine's
+        queue.  Under the lockstep scheduler every one of these steps
+        would have been its own pop of the same core, so the global
+        step order — and therefore every stat, trace event, and memory
+        image — is identical; the heap churn and re-dispatch just
+        disappear.
+
+        Exactly like the lockstep loop, at least one step always
+        executes per pop, and the watchdog is only consulted *between*
+        steps (``cycle > watchdog`` ends the burst so the machine can
+        raise with the same makespan the lockstep scheduler reports).
+        """
+        env = self._burst_env
+        if env is None:
+            env = self._prime_burst()
+        (
+            use_slow,
+            batch_kind,
+            traced,
+            system,
+            cid,
+            regs,
+            items,
+            nitems,
+            stats,
+            ctx,
+            fast_poll,
+            with_engine,
+        ) = env
+        if use_slow:
+            # Checked runs take the reference per-step interpreter: the
+            # oracle's on_instruction/on_txn_begin hooks live there.
+            self._run_until_slow(stop_cycle, stop_cid, watchdog)
+            return
+
+        while True:
+            idx = self.item_idx
+            if idx >= nitems:
+                self.state = CoreState.DONE
+                return
+            item = items[idx]
+
+            if isinstance(item, Txn):
+                program = item.program
+                if program is not self._chain_program:
+                    self._chain_program = program
+                    self._chain = chain_for(program, with_engine)
+                    self._decoded_program = program
+                    self._decoded = decoded_for(program)
+                chain = self._chain
+                decoded = self._decoded
+                n = len(chain)
+                # Keep the two per-step accumulators in locals for the
+                # duration of the burst, syncing with the attributes
+                # around every out-of-line call that reads or writes
+                # them (_handle_abort, _try_commit, _charge_stall) and
+                # on every exit.  Trace events read the core clock
+                # mid-step, so traced runs also sync before each
+                # handler call.
+                cycle = self.cycle
+                busy = self.attempt_busy
+                while True:
+                    # ---- one scheduling step (== one _step_txn call) ----
+                    if not self.in_txn:
+                        system.begin(cid, restart=self.restarting)
+                        self.restarting = False
+                        self.in_txn = True
+                        self.pc = 0
+                        busy = 0
+                        self.attempt_busy = 0
+                        self.attempt_conflict = 0
+                        self.attempt_stall_events = 0
+                        self.attempt_start = cycle
+                        self._txn_regs = list(regs)
+
+                    if fast_poll:
+                        doomed = ctx.doomed and ctx.active
+                        if doomed:
+                            ctx.doomed = False
+                            ctx.active = False
+                    else:
+                        self.cycle = cycle
+                        self.attempt_busy = busy
+                        doomed = system.poll_doomed(cid) is not None
+                    if doomed:
+                        self.cycle = cycle
+                        self.attempt_busy = busy
+                        self._handle_abort()
+                        cycle = self.cycle
+                        busy = self.attempt_busy
+                        if cycle > watchdog or cycle > stop_cycle or (
+                            cycle == stop_cycle and cid > stop_cid
+                        ):
+                            return
+                        continue
+
+                    if self._stall_ticket is not None:
+                        # Cross-burst stall ticket: the previous burst
+                        # ended stalled on this instruction, and if the
+                        # frozen resolve inputs (our timestamp, every
+                        # holder's (id, ts), holders alive and
+                        # undoomed, the RETCON remote-writer pin) are
+                        # unchanged, the retry deterministically
+                        # re-stalls — replay its only effects (backoff
+                        # charge, RETCON training round) without
+                        # re-executing the handler and conflict walk.
+                        # Any mismatch falls through to the full path.
+                        tk = self._stall_ticket
+                        self._stall_ticket = None
+                        if (
+                            tk[0] == idx
+                            and tk[1] == self.pc
+                            and ctx.ts == tk[4]
+                            and tk[7] == system._waiting_version
+                            and (
+                                not tk[6]
+                                or system.fabric.has_other_spec_writer(
+                                    tk[2], cid
+                                )
+                            )
+                        ):
+                            tk_block = tk[2]
+                            holders = system._conflicts(cid, tk_block, tk[3])
+                            pairs = tk[5]
+                            valid = len(holders) == len(pairs)
+                            if valid:
+                                ctxs = system.ctx
+                                for h, ts in pairs:
+                                    hctx = ctxs[h]
+                                    if (
+                                        h not in holders
+                                        or hctx.ts != ts
+                                        or not hctx.active
+                                        or hctx.doomed
+                                    ):
+                                        valid = False
+                                        break
+                            if valid:
+                                self.cycle = cycle
+                                self.attempt_busy = busy
+                                self._charge_stall()
+                                cycle = self.cycle
+                                if batch_kind == 1:
+                                    engines = system._engines
+                                    engines[cid].predictor.observe_conflicts(
+                                        tk_block, 1
+                                    )
+                                    for h in holders:
+                                        engines[h].predictor.observe_conflicts(
+                                            tk_block, 1
+                                        )
+                                if cycle > watchdog or cycle > stop_cycle or (
+                                    cycle == stop_cycle and cid > stop_cid
+                                ):
+                                    # Inputs just revalidated and no
+                                    # other core ran since: the same
+                                    # ticket is still exact.
+                                    self._stall_ticket = tk
+                                    return
+                                self._batch_stall_retries(
+                                    tk_block,
+                                    batch_kind == 1,
+                                    tk[3],
+                                    stop_cycle,
+                                    stop_cid,
+                                    watchdog,
+                                )
+                                return
+
+                    pc = self.pc
+                    if pc >= n:
+                        self.cycle = cycle
+                        self.attempt_busy = busy
+                        self._try_commit()
+                        cycle = self.cycle
+                        busy = self.attempt_busy
+                        if cycle > watchdog or cycle > stop_cycle or (
+                            cycle == stop_cycle and cid > stop_cid
+                        ):
+                            return
+                        if self.item_idx != idx:
+                            break  # committed: next script item
+                        continue
+
+                    if traced:
+                        self.cycle = cycle
+                    try:
+                        latency = chain[pc](self, regs)
+                    except StallRetry as stall:
+                        self.cycle = cycle
+                        self.attempt_busy = busy
+                        self._charge_stall(stall)
+                        cycle = self.cycle
+                        stopping = cycle > watchdog or cycle > stop_cycle or (
+                            cycle == stop_cycle and cid > stop_cid
+                        )
+                        kind = 0
+                        single = False
+                        if batch_kind:
+                            inst = decoded[pc]
+                            kind = inst[0]
+                            if kind == K_LOAD:
+                                base = inst[4]
+                                addr = (
+                                    inst[2] if base is None
+                                    else regs[base] + inst[5]
+                                )
+                                single = (
+                                    addr // BLOCK_SIZE
+                                    == (addr + inst[3] - 1) // BLOCK_SIZE
+                                )
+                            elif batch_kind == 2 and kind == K_STORE:
+                                base = inst[5]
+                                addr = (
+                                    inst[3] if base is None
+                                    else regs[base] + inst[6]
+                                )
+                                single = (
+                                    addr // BLOCK_SIZE
+                                    == (addr + inst[4] - 1) // BLOCK_SIZE
+                                )
+                        if single:
+                            if stopping:
+                                # Burst over after one backoff; freeze
+                                # the resolve inputs so the next wake
+                                # can replay the re-stall cheaply.
+                                self._mint_stall_ticket(
+                                    stall.block,
+                                    kind == K_STORE,
+                                    batch_kind == 1,
+                                )
+                                return
+                            self._batch_stall_retries(
+                                stall.block,
+                                batch_kind == 1,
+                                kind == K_STORE,
+                                stop_cycle,
+                                stop_cid,
+                                watchdog,
+                            )
+                            return
+                        if stopping:
+                            return
+                    except TxnAborted:
+                        self.cycle = cycle
+                        self.attempt_busy = busy
+                        self._handle_abort()
+                        cycle = self.cycle
+                        busy = self.attempt_busy
+                        if cycle > watchdog or cycle > stop_cycle or (
+                            cycle == stop_cycle and cid > stop_cid
+                        ):
+                            return
+                    else:
+                        self.consecutive_stalls = 0
+                        busy += latency
+                        cycle += latency
+                        if cycle > watchdog or cycle > stop_cycle or (
+                            cycle == stop_cycle and cid > stop_cid
+                        ):
+                            self.cycle = cycle
+                            self.attempt_busy = busy
+                            return
+                        continue
+
+            elif isinstance(item, Work):
+                cycles = item.cycles
+                c = self.cycle + cycles
+                self.cycle = c
+                stats.busy += cycles
+                self.item_idx = idx + 1
+                if c > watchdog or c > stop_cycle or (
+                    c == stop_cycle and cid > stop_cid
+                ):
+                    return
+
+            else:
+                assert isinstance(item, Barrier)
+                # The machine releases us; we just park.
+                self.state = CoreState.AT_BARRIER
+                return
+
+    def _prime_burst(self) -> tuple:
+        """Compute the burst-invariant environment for run_until.
+
+        Everything here is fixed for the duration of one machine run:
+        observers (oracle, fault injector, tracer, metrics) attach
+        before the scheduler loop starts, and the register-value list,
+        script items, context, and stats objects are stable for the
+        core's lifetime.  The machine resets the cache at run start so
+        observers attached between runs are honored.
+
+        Stall retries of a single-block access deterministically
+        re-stall for the rest of the burst (no other core runs, so
+        nothing a retry observes can change) — those retries can be
+        charged arithmetically instead of re-executed.  Eligibility
+        (``batch_kind``): no tracing/metrics observers, and an
+        exactly-known retry path — the eager baseline for any access
+        (2), RETCON/lazy-vb for loads only (1; a load conflict implies
+        a remote speculative writer, which pins the untracked fallback
+        path regardless of predictor training; stores can change path
+        mid-retries).
+        """
+        system = self.system
+        batch_kind = 0  # 0: never, 1: loads only (+training), 2: loads+stores
+        if system.tracer is None and system.metrics is None:
+            if type(system) is BaseTMSystem:
+                batch_kind = 2
+            elif type(system) is RetconTMSystem:
+                batch_kind = 1
+        env = (
+            system.oracle is not None or system.fault_injector is not None,
+            batch_kind,
+            system.tracer is not None,
+            system,
+            self.cid,
+            self.regs.values,
+            self.items,
+            len(self.items),
+            self.stats,
+            system.ctx[self.cid],
+            self._fast_poll,
+            self.engine is not None,
+        )
+        self._burst_env = env
+        self._stall_ticket = None
+        return env
+
+    def _run_until_slow(
+        self, stop_cycle: int, stop_cid: int, watchdog: int
+    ) -> None:
+        """Burst loop over the reference ``step()`` interpreter."""
+        cid = self.cid
+        while True:
+            self.step()
+            if self.state is not CoreState.RUNNING:
+                return
+            c = self.cycle
+            if c > watchdog or c > stop_cycle or (
+                c == stop_cycle and cid > stop_cid
+            ):
+                return
 
     # ------------------------------------------------------------------
     def _step_txn(self, item: Txn) -> None:
@@ -189,6 +588,109 @@ class Core:
                 detail["block"] = stall_info.block
             self.system._trace("stall", self.cid, **detail)
 
+    def _batch_stall_retries(
+        self,
+        block: int,
+        train: bool,
+        write: bool,
+        stop_cycle: int,
+        stop_cid: int,
+        watchdog: int,
+    ) -> None:
+        """Charge the rest of a burst's stall retries without retrying.
+
+        Called after an access stall when this core is still the burst
+        minimum.  No other core runs during a burst, so everything a
+        retry of a single-block access observes is frozen: the
+        conflicting speculative bits, the policy timestamps, the
+        wait-for graph, the overflow set, and the RETCON buffers.  Each
+        retry therefore re-stalls on the same holder until the burst
+        ends, and its only observable effects are the backoff stall
+        charge and (RETCON) one round of predictor training — applied
+        here arithmetically.  The caller guarantees no tracer/metrics
+        observer is attached, so the per-retry trace/metric hooks are
+        all no-ops on the path being skipped.
+        """
+        cid = self.cid
+        base = self.config.stall_retry_cycles
+        if base <= 0:
+            # A zero-cycle retry interval never advances the clock, so
+            # there is no deterministic charge to apply; let the
+            # per-retry path (and ultimately the watchdog) handle it.
+            return
+        c = self.cycle
+        start = c
+        streak = self.consecutive_stalls
+        retries = 0
+        while True:
+            streak += 1
+            c += min(base * (1 << min(streak - 1, 4)), 400)
+            retries += 1
+            if c > watchdog or c > stop_cycle or (
+                c == stop_cycle and cid > stop_cid
+            ):
+                break
+        self.cycle = c
+        self.consecutive_stalls = streak
+        self.attempt_conflict += c - start
+        self.attempt_stall_events += retries
+        system = self.system
+        holders = system._conflicts(cid, block, write)
+        if train:
+            # Every retry trains the requester's and each conflicting
+            # holder's predictor once (_observe_conflict); the holder
+            # set is frozen for the burst, so apply the whole run.
+            engines = system._engines
+            engines[cid].predictor.observe_conflicts(block, retries)
+            for holder in holders:
+                engines[holder].predictor.observe_conflicts(block, retries)
+        self._mint_stall_ticket(block, write, train, holders)
+
+    def _mint_stall_ticket(
+        self,
+        block: int,
+        write: bool,
+        need_writer: bool,
+        holders: "set[int] | None" = None,
+    ) -> None:
+        """Freeze the resolve inputs of the stall that just charged.
+
+        The ticket is consumed at the next wake: if the inputs still
+        hold — our attempt timestamp, every holder's (id, ts), holders
+        alive and undoomed, and (RETCON loads, ``need_writer``) the
+        remote-speculative-writer pin that forces the untracked
+        fallback path regardless of predictor state — the retry
+        deterministically re-stalls and its effects are replayed
+        without re-executing the access.  Any holder ending its
+        transaction (commit, self-abort, doom + restart) changes its
+        timestamp or leaves the conflict set, invalidating the ticket;
+        our own abort clears it explicitly.
+        """
+        system = self.system
+        if holders is None:
+            holders = system._conflicts(self.cid, block, write)
+        ctxs = system.ctx
+        for holder in holders:
+            hctx = ctxs[holder]
+            if not hctx.active or hctx.doomed:
+                return
+        if need_writer and not system.fabric.has_other_spec_writer(
+            block, self.cid
+        ):
+            return
+        self._stall_ticket = (
+            self.item_idx,
+            self.pc,
+            block,
+            write,
+            ctxs[self.cid].ts,
+            tuple((holder, ctxs[holder].ts) for holder in holders),
+            need_writer,
+            # Pin the wait-for graph: the deadlock walk is part of the
+            # frozen resolve decision, and its input is this graph.
+            system._waiting_version,
+        )
+
     def _try_commit(self) -> None:
         try:
             result = self.system.commit(self.cid)
@@ -256,6 +758,9 @@ class Core:
         self.in_txn = False
         self.restarting = True
         self.pc = 0
+        # A pending stall ticket belongs to the dead attempt: the
+        # restart begins with a fresh timestamp and empty footprint.
+        self._stall_ticket = None
 
     # ------------------------------------------------------------------
     # Instruction dispatch (over decoded tuples; see repro.sim.decode)

@@ -5,6 +5,20 @@ cycle count (ties broken by core id) executes one step.  This
 interleaves cores at instruction granularity while keeping every TM
 operation atomic, which is how the paper's sequentially-consistent
 simulator behaves from the protocol's point of view.
+
+Two schedulers implement that policy:
+
+* ``event`` (default) — an event-driven wakeup queue.  Each heap entry
+  is a wakeup event ``(cycle, cid)``; the popped core *bursts* through
+  consecutive steps via :meth:`repro.sim.cpu.Core.run_until` for as
+  long as it stays strictly ahead of the queue's next event, so a core
+  sleeping through a long memory latency, stall backoff, or barrier
+  wait costs one heap operation instead of one per step.  Because a
+  burst ends the moment the core would no longer be the (cycle, cid)
+  minimum, the executed global step order is *identical* to lockstep —
+  cycle skipping is a scheduling transform, not a semantic one.
+* ``lockstep`` — the reference one-step-per-pop loop, kept for
+  differential testing and as executable documentation.
 """
 
 from __future__ import annotations
@@ -24,11 +38,19 @@ from repro.sim.stats import MachineStats
 class SimulationTimeout(RuntimeError):
     """The run exceeded the cycle watchdog (livelock guard)."""
 
-    def __init__(self, message: str, label: str | None = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        label: str | None = None,
+        makespan: int | None = None,
+    ) -> None:
         if label:
             message = f"{message} [{label}]"
         super().__init__(message)
         self.label = label
+        #: global makespan at the moment the watchdog fired (None for
+        #: the scheduler-starvation error)
+        self.makespan = makespan
 
 
 @dataclass
@@ -65,11 +87,15 @@ class Machine:
         check: "bool | object | None" = None,
         tracer: "object | None" = None,
         metrics: "object | None" = None,
+        scheduler: str = "event",
     ) -> None:
         if len(scripts) > config.ncores:
             raise ValueError(
                 f"{len(scripts)} scripts but only {config.ncores} cores"
             )
+        if scheduler not in ("event", "lockstep"):
+            raise ValueError(f"unknown scheduler: {scheduler!r}")
+        self.scheduler = scheduler
         self.config = config
         #: free-form context (workload/system/...) echoed in timeouts
         self.label = label or system_name
@@ -119,6 +145,48 @@ class Machine:
                 heapq.heappush(heap, (core.cycle, core.cid))
 
         barrier_waiters: list[Core] = []
+        if self.scheduler == "event":
+            self._run_event(heap, barrier_waiters, max_cycles)
+        else:
+            self._run_lockstep(heap, barrier_waiters, max_cycles)
+
+        final_makespan = max(core.cycle for core in self.cores)
+        if self.metrics is not None:
+            from repro.obs.collect import collect_machine
+
+            collect_machine(self.metrics, self, final_makespan)
+        return RunResult(
+            cycles=final_makespan,
+            stats=self.stats,
+            memory=self.memory,
+            system_name=self.system.name,
+            oracle=self.oracle,
+        )
+
+    def _run_event(
+        self,
+        heap: list[tuple[int, int]],
+        barrier_waiters: list[Core],
+        max_cycles: int,
+    ) -> None:
+        """Event-driven scheduler: pop a wakeup event, burst the core.
+
+        The popped core is the global (cycle, cid) minimum; it runs
+        until the next queued wakeup would overtake it (see
+        :meth:`Core.run_until`), then re-arms its own wakeup at its new
+        cycle.  Stall backoffs, memory latencies, and commit charges
+        all advance ``core.cycle`` before the burst ends, so the
+        re-armed event *is* the layer-reported release cycle — no
+        per-cycle polling of blocked cores remains.
+        """
+        cores = self.cores
+        ncores = len(cores)
+        push = heapq.heappush
+        pop = heapq.heappop
+        for core in cores:
+            # Recompute burst-invariant state (observers may have been
+            # attached since the previous run).
+            core._burst_env = None
         # Track the global makespan incrementally: a core that retires
         # with a huge cycle count (or one spinning while the rest sit
         # at the barrier) must trip the watchdog even though it never
@@ -126,15 +194,43 @@ class Machine:
         makespan = 0
         while heap or barrier_waiters:
             if makespan > max_cycles:
-                raise SimulationTimeout(
-                    f"makespan {makespan} exceeded the "
-                    f"{max_cycles}-cycle watchdog",
-                    label=self.label,
-                )
+                self._raise_watchdog(makespan, max_cycles)
             if not heap:
                 self._release_barrier(barrier_waiters, heap)
                 continue
-            cycle, cid = heapq.heappop(heap)
+            _cycle, cid = pop(heap)
+            core = cores[cid]
+            if heap:
+                stop_cycle, stop_cid = heap[0]
+            else:
+                # Alone in the queue: run to the next park/finish; the
+                # watchdog bound still ends runaway bursts.
+                stop_cycle, stop_cid = max_cycles, ncores
+            core.run_until(stop_cycle, stop_cid, max_cycles)
+            if core.cycle > makespan:
+                makespan = core.cycle
+            if core.state is CoreState.AT_BARRIER:
+                barrier_waiters.append(core)
+                if len(barrier_waiters) + self._done_count() == ncores:
+                    self._release_barrier(barrier_waiters, heap)
+            elif core.state is not CoreState.DONE:
+                push(heap, (core.cycle, core.cid))
+
+    def _run_lockstep(
+        self,
+        heap: list[tuple[int, int]],
+        barrier_waiters: list[Core],
+        max_cycles: int,
+    ) -> None:
+        """Reference scheduler: one step per heap pop."""
+        makespan = 0
+        while heap or barrier_waiters:
+            if makespan > max_cycles:
+                self._raise_watchdog(makespan, max_cycles)
+            if not heap:
+                self._release_barrier(barrier_waiters, heap)
+                continue
+            _cycle, cid = heapq.heappop(heap)
             core = self.cores[cid]
             core.step()
             if core.cycle > makespan:
@@ -148,17 +244,12 @@ class Machine:
             elif core.state is not CoreState.DONE:
                 heapq.heappush(heap, (core.cycle, core.cid))
 
-        final_makespan = max(core.cycle for core in self.cores)
-        if self.metrics is not None:
-            from repro.obs.collect import collect_machine
-
-            collect_machine(self.metrics, self, final_makespan)
-        return RunResult(
-            cycles=final_makespan,
-            stats=self.stats,
-            memory=self.memory,
-            system_name=self.system.name,
-            oracle=self.oracle,
+    def _raise_watchdog(self, makespan: int, max_cycles: int) -> None:
+        raise SimulationTimeout(
+            f"makespan {makespan} exceeded the "
+            f"{max_cycles}-cycle watchdog",
+            label=self.label,
+            makespan=makespan,
         )
 
     def _txn_label(self, cid: int) -> str | None:

@@ -167,7 +167,7 @@ def run_workload(
     (:mod:`repro.check.oracle`) to the run; ``golden=True`` diffs the
     final state against a sequential golden run
     (:mod:`repro.check.golden`); ``tracer`` attaches a
-    :class:`repro.sim.trace.Tracer` to the TM system; ``metrics``
+    :class:`repro.obs.events.EventStream` to the TM system; ``metrics``
     attaches a :class:`repro.obs.metrics.MetricsRegistry`.
     """
     config = (config or MachineConfig()).with_cores(ncores)

@@ -1,15 +1,15 @@
 """Timeline rendering."""
 
 from repro.analysis.timeline import figure2_timelines, render_timeline
-from repro.sim.trace import Tracer
+from repro.obs.events import EventStream
 
 
 class TestRenderTimeline:
     def test_empty_tracer(self):
-        assert "no timestamped" in render_timeline(Tracer(), ncores=2)
+        assert "no timestamped" in render_timeline(EventStream(), ncores=2)
 
     def test_lanes_and_glyphs(self):
-        tracer = Tracer()
+        tracer = EventStream()
         tracer.emit("begin", 0, cycle=0)
         tracer.emit("commit", 0, cycle=100)
         tracer.emit("begin", 1, cycle=10)
@@ -21,21 +21,21 @@ class TestRenderTimeline:
         assert "A" in lines[2]
 
     def test_untimestamped_events_skipped(self):
-        tracer = Tracer()
+        tracer = EventStream()
         tracer.emit("begin", 0)  # no cycle
         tracer.emit("commit", 0, cycle=10)
         out = render_timeline(tracer, ncores=1, width=10)
         assert "B" not in out.splitlines()[1]
 
     def test_commit_precedence_over_repair(self):
-        tracer = Tracer()
+        tracer = EventStream()
         tracer.emit("repair", 0, cycle=50, addr=1, value=2)
         tracer.emit("commit", 0, cycle=50)
         out = render_timeline(tracer, ncores=1, width=10)
         assert "C" in out and "R" not in out.splitlines()[1]
 
     def test_idle_cores_omitted(self):
-        tracer = Tracer()
+        tracer = EventStream()
         tracer.emit("commit", 0, cycle=5)
         out = render_timeline(tracer, ncores=4, width=10)
         assert "core 3" not in out
@@ -43,14 +43,14 @@ class TestRenderTimeline:
     def test_core_beyond_ncores_grows_lanes(self):
         # Regression: a trace from a wider machine (or a stale ncores
         # argument) used to raise IndexError on lanes[event.core].
-        tracer = Tracer()
+        tracer = EventStream()
         tracer.emit("begin", 0, cycle=0)
         tracer.emit("commit", 5, cycle=10)
         out = render_timeline(tracer, ncores=2, width=10)
         assert "core 5" in out
 
     def test_zero_ncores_derived_from_trace(self):
-        tracer = Tracer()
+        tracer = EventStream()
         tracer.emit("commit", 0, cycle=5)
         out = render_timeline(tracer, ncores=0, width=10)
         assert "core 0" in out

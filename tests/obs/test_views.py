@@ -94,9 +94,9 @@ class TestByteStability:
     @staticmethod
     def _traced_run():
         from repro.sim.runner import run_workload
-        from repro.sim.trace import Tracer
+        from repro.obs.events import EventStream
 
-        tracer = Tracer()
+        tracer = EventStream()
         run_workload(
             "python_opt", "retcon", ncores=4, seed=3, scale=0.05,
             check=False, tracer=tracer,

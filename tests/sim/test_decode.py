@@ -20,6 +20,7 @@ from repro.sim.decode import (
     K_MOVI,
     K_OP,
     K_STORE,
+    chain_for,
     decode_program,
     decoded_for,
 )
@@ -115,13 +116,30 @@ class TestCoreDecodeSwap:
 
     def test_retry_reuses_core_cache(self, memory):
         """Same-program retries hit the core-local pair: the program
-        instance decodes exactly once even across many attempts."""
+        instance compiles exactly once even across many attempts."""
         program = _counter_program(4096, 1)
         script = ThreadScript()
         for _ in range(4):
             script.add_txn(program)
         machine = Machine(
             MachineConfig().with_cores(1), "eager", [script], memory
+        )
+        machine.run()
+        core = machine.cores[0]
+        assert core._chain_program is program
+        assert core._chain is chain_for(program, with_engine=False)
+        assert machine.memory.read(4096) == 4
+
+    def test_lockstep_retry_reuses_decode_cache(self, memory):
+        """The lockstep scheduler's reference interpreter keeps the
+        original (program, decoded-tuples) core-local pair."""
+        program = _counter_program(4096, 1)
+        script = ThreadScript()
+        for _ in range(4):
+            script.add_txn(program)
+        machine = Machine(
+            MachineConfig().with_cores(1), "eager", [script], memory,
+            scheduler="lockstep",
         )
         machine.run()
         core = machine.cores[0]

@@ -84,6 +84,104 @@ class TestScheduler:
         assert result.cycles == 0
 
 
+class TestEventScheduler:
+    """Event-driven scheduler specifics: tie-break, padding, watchdog."""
+
+    def test_heap_tie_break_runs_lowest_cid_first(self):
+        """Two cores waking on the same cycle run in cid order, exactly
+        like the lockstep scheduler's (cycle, cid) heap order."""
+        from repro.obs.events import EventStream
+
+        scripts = []
+        for _ in range(2):
+            script = ThreadScript()
+            script.add_work(5)
+            script.add_txn(counter_increment_txn(0x100))
+            scripts.append(script)
+        tracer = EventStream()
+        machine = Machine(
+            MachineConfig().with_cores(2),
+            "eager",
+            scripts,
+            MainMemory(),
+            tracer=tracer,
+        )
+        machine.run()
+        begins = tracer.of_kind("begin")
+        assert [e.core for e in begins[:2]] == [0, 1]
+        assert begins[0].detail["cycle"] == begins[1].detail["cycle"] == 5
+
+    def test_empty_script_padding_fills_all_cores(self):
+        """Fewer scripts than cores: the machine pads with empty
+        scripts, the padded cores finish at cycle 0, and the run is
+        unaffected."""
+        script = ThreadScript()
+        script.add_work(7)
+        script.add_txn(counter_increment_txn(0x140))
+        machine = Machine(
+            MachineConfig().with_cores(4), "eager", [script], MainMemory()
+        )
+        result = machine.run()
+        assert len(machine.cores) == 4
+        assert all(core.done() for core in machine.cores)
+        assert [core.cycle for core in machine.cores[1:]] == [0, 0, 0]
+        assert result.cycles == machine.cores[0].cycle > 7
+
+    def test_release_barrier_empty_raises_starvation_error(self):
+        """The scheduler-starvation guard: an empty heap with no
+        barrier waiters is a bug surfaced as SimulationTimeout, not an
+        infinite loop or a bare crash."""
+        machine = Machine(
+            MachineConfig().with_cores(1),
+            "eager",
+            [ThreadScript()],
+            MainMemory(),
+            label="starved-run",
+        )
+        with pytest.raises(SimulationTimeout) as excinfo:
+            machine._release_barrier([], [])
+        assert "scheduler empty with no barrier waiters" in str(excinfo.value)
+        assert "starved-run" in str(excinfo.value)
+
+    def test_watchdog_identical_makespan_under_both_schedulers(self):
+        """Regression: a conflicting core pair that cannot finish
+        within the budget times out with the *same* makespan and label
+        under the event-driven and lockstep schedulers (the watchdog is
+        consulted between steps in both)."""
+
+        from repro.isa.registers import R1
+
+        def build(scheduler):
+            holder = ThreadScript()
+            asm = Assembler()
+            asm.load(R1, 0x200)
+            asm.nop(2_000)
+            asm.store(R1, 0x200)
+            holder.add_txn(asm.build())
+            rival = ThreadScript()
+            rival.add_work(3)
+            rival.add_txn(counter_increment_txn(0x200))
+            return Machine(
+                MachineConfig().with_cores(2),
+                "eager",
+                [holder, rival],
+                MainMemory(),
+                label="livelock-pair",
+                scheduler=scheduler,
+            )
+
+        outcomes = {}
+        for scheduler in ("event", "lockstep"):
+            with pytest.raises(SimulationTimeout) as excinfo:
+                build(scheduler).run(max_cycles=1_000)
+            outcomes[scheduler] = (
+                excinfo.value.makespan,
+                excinfo.value.label,
+            )
+        assert outcomes["event"] == outcomes["lockstep"]
+        assert outcomes["event"][1] == "livelock-pair"
+
+
 class TestBarrier:
     def test_barrier_synchronizes_and_charges_wait(self):
         fast = ThreadScript()

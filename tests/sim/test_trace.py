@@ -1,7 +1,7 @@
 """Event tracing."""
 
 from repro.sim.config import MachineConfig
-from repro.sim.trace import Tracer
+from repro.obs.events import EventStream
 from tests.conftest import counter_increment_txn, run_counter_machine
 
 from repro.mem.memory import MainMemory
@@ -23,13 +23,13 @@ def run_traced(system: str, ncores=2, txns=3):
     machine = Machine(
         MachineConfig().with_cores(ncores), system, scripts, memory
     )
-    tracer = Tracer()
+    tracer = EventStream()
     machine.system.tracer = tracer
     machine.run()
     return tracer
 
 
-class TestTracer:
+class TestEventStreamTracing:
     def test_begin_commit_pairing(self):
         tracer = run_traced("eager")
         commits = tracer.of_kind("commit")
@@ -62,7 +62,7 @@ class TestTracer:
         )
 
     def test_limit_drops_excess(self):
-        tracer = Tracer(limit=2)
+        tracer = EventStream(limit=2)
         for i in range(5):
             tracer.emit("begin", 0, n=i)
         assert len(tracer) == 2
@@ -71,7 +71,7 @@ class TestTracer:
     def test_drops_accounted_per_kind(self):
         # Regression: drops used to be one scalar, so summary() could
         # report "0 commits" for a run full of dropped commits.
-        tracer = Tracer(limit=1)
+        tracer = EventStream(limit=1)
         tracer.emit("begin", 0)
         tracer.emit("commit", 0)
         tracer.emit("commit", 1)
@@ -83,14 +83,14 @@ class TestTracer:
         assert summary["begin"] == 1
 
     def test_keep_last_ring_buffer(self):
-        tracer = Tracer(limit=2, keep="last")
+        tracer = EventStream(limit=2, keep="last")
         for i in range(4):
             tracer.emit("begin", 0, n=i)
         assert [e.detail["n"] for e in tracer.events] == [2, 3]
         assert tracer.dropped == 2
 
     def test_str_rendering(self):
-        tracer = Tracer()
+        tracer = EventStream()
         tracer.emit("steal", 3, block=7, writer=1)
         assert str(tracer.events[0]) == "[core 3] steal block=7 writer=1"
 
