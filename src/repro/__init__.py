@@ -28,6 +28,10 @@ The package is organized as:
   the paper's evaluation.
 * :mod:`repro.check` — the correctness oracle: replay-based repair
   validation, golden-run differencing, and fault injection.
+* :mod:`repro.stm` — the software TM slow path (orec metadata in
+  simulated memory, instrumented barriers, commit-time validation),
+  used standalone (``stm``) and as the escalation target of the
+  hybrid family in :mod:`repro.htm.hytm`.
 """
 
 from repro.sim.config import MachineConfig
@@ -35,10 +39,22 @@ from repro.sim.machine import Machine, RunResult
 from repro.sim.runner import WorkloadResult, run_sequential, run_workload
 from repro.workloads.registry import WORKLOADS, get_workload
 
-SYSTEMS = ("eager", "eager-stall", "lazy", "lazy-vb", "datm", "retcon")
+SYSTEMS = (
+    "eager",
+    "eager-stall",
+    "lazy",
+    "lazy-vb",
+    "datm",
+    "retcon",
+    "stm",
+    "hybrid-retcon",
+    "hybrid-eager",
+    "hybrid-lazy-vb",
+    "progressive",
+)
 """Names of the transactional-memory system variants that can be simulated."""
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "MachineConfig",

@@ -279,3 +279,104 @@ def table3(
         row["commit_stall_percent"] = result.commit_stall_percent
         out[name] = row
     return out
+
+
+# ---------------------------------------------------------------------------
+# Hybrid TM: instrumentation overhead vs. concurrency lost (HyTM tradeoff)
+# ---------------------------------------------------------------------------
+HYBRID_WORKLOADS = ("python_opt", "genome-sz", "kmeans")
+HYBRID_BUDGETS = (0, 1, 2, 4, 8)
+
+
+def figure_hybrid(
+    ncores: int = 32,
+    seed: int = 1,
+    scale: float = 1.0,
+    workloads: Sequence[str] = HYBRID_WORKLOADS,
+    budgets: Sequence[int] = HYBRID_BUDGETS,
+    backend: str = "hybrid-retcon",
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    refresh: bool = False,
+    progress: ProgressFn | None = None,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """The headline HyTM tradeoff (after Brown & Ravi): sweeping the
+    HTM retry budget trades software instrumentation overhead against
+    concurrency lost to hardware/software synchronization.
+
+    Runs *backend* at each retry budget, plus the pure hardware
+    (``retcon``) and pure software (``stm``) endpoints, and reports
+    per point: speedup over sequential, instrumentation instructions
+    per commit, the STM fallback rate, and aborts attributed to
+    HTM/STM synchronization (subscription dooms and owner vetoes).
+
+    Returns ``{workload: {column: {metric: value}}}`` where columns
+    are ``"htm"``, ``"rb=<n>"`` ... , ``"stm"``.
+    """
+    from repro.exp.engine import run_points
+    from repro.exp.spec import Point
+
+    columns: list[tuple[str, str, Point]] = []
+    for name in workloads:
+        columns.append(
+            (name, "htm", Point(name, "retcon", ncores, seed, scale))
+        )
+        for budget in budgets:
+            columns.append(
+                (
+                    name,
+                    f"rb={budget}",
+                    Point(
+                        name, backend, ncores, seed, scale,
+                        retry_budget=budget,
+                    ),
+                )
+            )
+        columns.append(
+            (name, "stm", Point(name, "stm", ncores, seed, scale))
+        )
+    results = run_points(
+        [point for _n, _c, point in columns],
+        jobs=jobs, cache=cache, refresh=refresh, progress=progress,
+    )
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for name, column, point in columns:
+        result = results[point]
+        commits = result.commits or 1
+        stm = result.stm
+        out.setdefault(name, {})[column] = {
+            "speedup": result.speedup,
+            "barrier_instrs_per_commit": (
+                stm.get("barrier_instrs", 0) / commits
+            ),
+            "fallback_rate": stm.get("fallback_rate", 0.0),
+            "subscription_aborts": stm.get("subscription_aborts", 0),
+            "aborts": result.aborts,
+            "cycles": result.cycles,
+        }
+    return out
+
+
+def format_hybrid_tradeoff(
+    data: Mapping[str, Mapping[str, Mapping[str, float]]],
+) -> str:
+    """Render :func:`figure_hybrid` output as a markdown table set."""
+    lines: list[str] = []
+    for name, columns in data.items():
+        lines.append(f"### {name}")
+        lines.append("")
+        lines.append(
+            "| point | speedup | barrier instrs/commit | "
+            "fallback rate | subscription aborts | total aborts |"
+        )
+        lines.append("|---|---|---|---|---|---|")
+        for column, row in columns.items():
+            lines.append(
+                f"| {column} | {row['speedup']:.2f}x "
+                f"| {row['barrier_instrs_per_commit']:.1f} "
+                f"| {row['fallback_rate'] * 100:.0f}% "
+                f"| {int(row['subscription_aborts'])} "
+                f"| {int(row['aborts'])} |"
+            )
+        lines.append("")
+    return "\n".join(lines)

@@ -46,6 +46,7 @@ def sweep_matrix(
     refresh: bool = False,
     progress: ProgressFn | None = None,
     check: bool = False,
+    retry_budget: int | None = None,
 ) -> dict[str, list[SweepPoint]]:
     """Run *workload* on every (system, core count) pair.
 
@@ -63,6 +64,7 @@ def sweep_matrix(
             scale=scale,
             config=config,
             check=check,
+            retry_budget=retry_budget,
         )
         for ncores in core_counts
         for system in systems

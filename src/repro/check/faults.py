@@ -45,6 +45,9 @@ ApplyFn = Callable[
 
 PRE_VALIDATE = "pre-validate"
 POST_PLAN = "post-plan"
+#: fired on the STM commit plan (write-buffer runs) after software
+#: validation, before writeback — the software analogue of POST_PLAN
+STM_COMMIT = "stm-commit"
 
 
 @dataclass(frozen=True)
@@ -303,6 +306,16 @@ FAULT_POINTS: dict[str, FaultPoint] = {
             "plan-reg-drop", POST_PLAN,
             "one register repair dropped",
             _plan_reg_drop,
+        ),
+        FaultPoint(
+            "stm-store-skew", STM_COMMIT,
+            "one STM write-buffer run's committed value +1",
+            _plan_store_skew,
+        ),
+        FaultPoint(
+            "stm-store-drop", STM_COMMIT,
+            "one STM write-buffer run silently lost at writeback",
+            _plan_store_drop,
         ),
     )
 }

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.mem.address import BLOCK_SIZE, block_base
+from repro.mem.address import BLOCK_SIZE, block_base, block_of
 from repro.mem.memory import MainMemory
 from repro.sim.config import MachineConfig
 from repro.sim.machine import Machine
@@ -115,9 +115,23 @@ def diff_memories(
 
     Returns ``(blocks_compared, blocks_differing, bytes_differing,
     sample_addrs)``.
+
+    Blocks in the STM metadata region (at or above
+    :data:`repro.stm.metadata.STM_META_BASE`) are excluded: orec
+    versions, the global clock, and the fallback token are simulator
+    bookkeeping whose final values legitimately depend on the
+    schedule (abort counts), and single-core reference runs don't
+    materialize them at all.  Workload data never lives up there.
     """
+    from repro.stm.metadata import STM_META_BASE
+
+    meta_block = block_of(STM_META_BASE)
     blocks = sorted(
-        set(golden.touched_blocks()) | set(parallel.touched_blocks())
+        block
+        for block in (
+            set(golden.touched_blocks()) | set(parallel.touched_blocks())
+        )
+        if block < meta_block
     )
     blocks_differing = 0
     bytes_differing = 0

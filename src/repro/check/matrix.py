@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.check.faults import FAULT_POINTS, FaultInjector
+from repro.check.faults import FAULT_POINTS, STM_COMMIT, FaultInjector
 from repro.check.oracle import RepairOracle
 from repro.exp.spec import ExperimentSpec, smoke_spec
 from repro.isa.instructions import Cond
@@ -203,12 +203,20 @@ def run_fault_trial(
     ncores: int = 4,
     txns_per_core: int = 32,
 ) -> FaultTrial:
-    """Run the contended scenario with *fault* injected (None = clean)."""
+    """Run the contended scenario with *fault* injected (None = clean).
+
+    The backend follows the fault's stage: RETCON-structure and
+    commit-plan faults run on ``retcon``; STM commit-path faults run
+    on the ``stm`` backend (the only one that reaches their stage).
+    """
     scripts, memory, config = fault_scenario(ncores, txns_per_core)
+    point = FAULT_POINTS[fault] if fault is not None else None
+    system = "stm" if point is not None and point.stage == STM_COMMIT \
+        else "retcon"
     oracle = RepairOracle()
     machine = Machine(
         config,
-        "retcon",
+        system,
         scripts,
         memory,
         label=f"fault:{fault or 'control'}",
@@ -219,7 +227,6 @@ def run_fault_trial(
         injector = FaultInjector(fault, seed=seed)
         machine.system.fault_injector = injector
     machine.run(max_cycles=50_000_000)
-    point = FAULT_POINTS[fault] if fault is not None else None
     return FaultTrial(
         fault=fault,
         stage=point.stage if point else "-",

@@ -78,6 +78,11 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cores", type=int, default=32)
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--retry-budget", type=int, default=None, metavar="N",
+        help="HTM attempts before a hybrid backend escalates to STM "
+             "(default: the machine config's value)",
+    )
     _add_engine_args(parser)
 
 
@@ -86,7 +91,8 @@ def _cmd_list(_args) -> int:
     for name in ALL_VARIANTS:
         print(f"  {name:18s} {WORKLOADS[name].spec.description}")
     print("\nTM systems: eager, eager-abort, eager-stall, lazy, "
-          "lazy-vb, datm, retcon, retcon-fwd")
+          "lazy-vb, datm, retcon, retcon-fwd, stm, hybrid-retcon, "
+          "hybrid-eager, hybrid-lazy-vb, progressive")
     from repro.fuzz.gen import FUZZ_PROFILES
 
     print(
@@ -145,6 +151,7 @@ def _cmd_run(args) -> int:
         seed=args.seed,
         scale=args.scale,
         check=args.check,
+        retry_budget=args.retry_budget,
     )
     result = run_points([point], **_engine_opts(args))[point]
     _print_result(result)
@@ -170,6 +177,7 @@ def _run_traced(args) -> int:
         seed=args.seed,
         scale=args.scale,
         check=args.check,
+        retry_budget=args.retry_budget,
     )
     result, events, _metrics = run_point_with_trace(
         point,
@@ -219,6 +227,7 @@ def _trace_source(args):
         ncores=args.cores,
         seed=args.seed,
         scale=args.scale,
+        retry_budget=getattr(args, "retry_budget", None),
     )
     _result, events, metrics = run_point_with_trace(
         point,
@@ -386,9 +395,14 @@ def _cmd_fuzz(args) -> int:
                 file=sys.stderr,
             )
             return 2
+    backends = tuple(
+        dict.fromkeys(
+            tuple(args.backends) + tuple(args.extra_backends or ())
+        )
+    )
     common = dict(
         profiles=tuple(args.profiles),
-        backends=tuple(args.backends),
+        backends=backends,
         nthreads=args.cores,
         jobs=args.jobs,
         use_cache=not args.no_cache,
@@ -455,7 +469,14 @@ def _cmd_figure(args) -> int:
         ncores=args.cores, seed=args.seed, scale=args.scale,
         **_engine_opts(args),
     )
-    number = args.number
+    if args.number == "hybrid":
+        return _figure_hybrid(args, params)
+    try:
+        number = int(args.number)
+    except ValueError:
+        print(f"no such figure: {args.number} "
+              "(have 1, 2, 3, 4, 9, 10, hybrid)", file=sys.stderr)
+        return 2
     if number == 1:
         print(bar_chart(fig.figure1(**params), max_value=args.cores,
                         title="Figure 1: eager HTM scalability"))
@@ -494,9 +515,42 @@ def _cmd_figure(args) -> int:
             title="Figure 10: breakdown normalized to eager",
         ))
     else:
-        print(f"no such figure: {number} (have 1, 2, 3, 4, 9, 10)",
-              file=sys.stderr)
+        print(f"no such figure: {number} "
+              "(have 1, 2, 3, 4, 9, 10, hybrid)", file=sys.stderr)
         return 2
+    return 0
+
+
+def _figure_hybrid(args, params) -> int:
+    """``repro figure hybrid``: the HyTM retry-budget tradeoff table.
+
+    Sweeps the hybrid backend's retry budget across the smoke
+    workloads, bracketed by the pure-HTM (``retcon``) and pure-STM
+    endpoints, and renders markdown (``-o`` writes the committed
+    ``docs/hybrid_tradeoff.md``).
+    """
+    from pathlib import Path
+
+    data = fig.figure_hybrid(backend=args.backend, **params)
+    text = fig.format_hybrid_tradeoff(data)
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = (
+            "# HyTM tradeoff: instrumentation overhead vs. "
+            "concurrency\n\n"
+            f"Backend `{args.backend}` swept over HTM retry budgets "
+            "(`rb=<n>`), bracketed by the pure-HTM (`htm` = retcon) "
+            "and pure-STM (`stm`) endpoints at "
+            f"{args.cores} cores, scale {args.scale}, seed "
+            f"{args.seed}.  Regenerate with:\n\n"
+            "    python -m repro figure hybrid --cores "
+            f"{args.cores} --scale {args.scale} -o {args.output}\n\n"
+        )
+        path.write_text(header + text + "\n", encoding="utf-8")
+        print(f"wrote {path}")
+    else:
+        print(text)
     return 0
 
 
@@ -548,13 +602,17 @@ def _cmd_sweep(args) -> int:
     core_counts = tuple(
         int(n) for n in args.core_counts.split(",")
     )
+    systems = (
+        [args.backend] if args.backend else args.systems.split(",")
+    )
     curves = sweep_matrix(
         args.workload,
-        args.systems.split(","),
+        systems,
         core_counts,
         seed=args.seed,
         scale=args.scale,
         check=args.check,
+        retry_budget=args.retry_budget,
         **_engine_opts(args),
     )
     print(format_sweep(args.workload, curves))
@@ -574,28 +632,48 @@ def _cmd_sweep(args) -> int:
 
 
 def _run_smoke(args) -> int:
-    """The CI smoke grid: 3 workloads x 3 systems at tiny scale."""
-    spec = smoke_spec()
+    """The CI smoke grid: 3 workloads x 3 systems at tiny scale.
+
+    ``--backend NAME`` swaps the system trio for a single system (the
+    CI hybrid-smoke step runs it on ``hybrid-retcon`` alone), and
+    ``--check``/``--retry-budget`` apply to every smoke point.
+    """
+    from dataclasses import replace as _replace
+
+    if args.backend:
+        spec = smoke_spec(systems=(args.backend,))
+    else:
+        spec = smoke_spec()
+    points = [
+        _replace(
+            point, check=args.check, retry_budget=args.retry_budget
+        )
+        for point in spec.points()
+    ]
     start = time.perf_counter()
-    results = run_points(spec.points(), **_engine_opts(args))
+    results = run_points(points, **_engine_opts(args))
     elapsed = time.perf_counter() - start
     rows = []
     ok = True
     for point, result in results.items():
-        ok = ok and result.invariants_ok
+        point_ok = (
+            result.check_ok if args.check else result.invariants_ok
+        )
+        ok = ok and point_ok
         rows.append(
             (
                 point.workload,
                 point.system,
                 f"{result.speedup:.2f}x",
                 result.aborts,
-                "ok" if result.invariants_ok else "FAILED",
+                "ok" if point_ok else "FAILED",
             )
         )
     print(f"smoke grid: {len(results)} points in {elapsed:.1f}s")
     print(
         format_table(
-            ["workload", "system", "speedup", "aborts", "invariants"],
+            ["workload", "system", "speedup", "aborts",
+             "check" if args.check else "invariants"],
             rows,
         )
     )
@@ -699,6 +777,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("workload", choices=sorted(WORKLOADS))
     run.add_argument("--system", default="retcon")
     run.add_argument(
+        "--backend", dest="system",
+        help="alias for --system (stm, hybrid-retcon, progressive, ...)",
+    )
+    run.add_argument(
         "--check", action="store_true",
         help="attach the repair oracle and diff against a golden run",
     )
@@ -720,8 +802,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_run_args(compare)
 
-    figure = sub.add_parser("figure", help="regenerate a paper figure")
-    figure.add_argument("number", type=int)
+    figure = sub.add_parser(
+        "figure",
+        help="regenerate a paper figure (1/2/3/4/9/10) or the "
+             "'hybrid' HyTM tradeoff table",
+    )
+    figure.add_argument("number")
+    figure.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="write the 'hybrid' tradeoff markdown here instead of "
+             "stdout",
+    )
+    figure.add_argument(
+        "--backend", default="hybrid-retcon",
+        help="hybrid backend swept by 'figure hybrid' "
+             "(default hybrid-retcon)",
+    )
     _add_run_args(figure)
 
     table = sub.add_parser("table", help="regenerate a paper table")
@@ -753,6 +849,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--smoke", action="store_true",
         help="run the tiny CI smoke grid instead of a core sweep",
+    )
+    sweep.add_argument(
+        "--backend", default=None, metavar="SYSTEM",
+        help="with --smoke: run the smoke workloads on this single "
+             "system instead of the default eager/lazy-vb/retcon trio",
+    )
+    sweep.add_argument(
+        "--retry-budget", type=int, default=None, metavar="N",
+        help="HTM attempts before a hybrid backend escalates to STM",
     )
     sweep.add_argument(
         "--check", action="store_true",
@@ -810,6 +915,12 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--backends", nargs="+", default=["eager", "lazy-vb", "retcon"],
         help="TM systems to cross-check (default: eager lazy-vb retcon)",
+    )
+    fuzz.add_argument(
+        "--backend", action="append", dest="extra_backends",
+        default=None, metavar="NAME",
+        help="extra TM system appended to --backends (repeatable; "
+             "e.g. --backend stm --backend hybrid-retcon)",
     )
     fuzz.add_argument(
         "--profiles", nargs="+",

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Iterator, Optional
 
 from repro.sim.config import MachineConfig
@@ -43,10 +43,17 @@ class Point:
     #: points, so a warm untraced cache can never satisfy a trace
     #: request with an empty trace.
     obs: str = ""
+    #: HTM attempts before a hybrid backend escalates to STM; None
+    #: keeps the config's value.  Folded into resolved_config (and
+    #: hence the cache key) so retry-budget sweeps are distinct points.
+    retry_budget: Optional[int] = None
 
     def resolved_config(self) -> MachineConfig:
         """The machine configuration this point actually runs with."""
-        return (self.config or MachineConfig()).with_cores(self.ncores)
+        config = (self.config or MachineConfig()).with_cores(self.ncores)
+        if self.retry_budget is not None:
+            config = replace(config, retry_budget=self.retry_budget)
+        return config
 
     def baseline_key(self) -> tuple:
         """Points with equal keys share one generated workload and one
@@ -85,6 +92,8 @@ class Point:
             extras += f" tag={self.tag}"
         if self.obs:
             extras += f" +{self.obs}"
+        if self.retry_budget is not None:
+            extras += f" rb={self.retry_budget}"
         return (
             f"{self.workload}/{self.system} ncores={self.ncores} "
             f"seed={self.seed} scale={self.scale}{extras}"
@@ -130,6 +139,9 @@ class ExperimentSpec:
     tag: str = ""
     #: observability request propagated to every point (see Point.obs)
     obs: str = ""
+    #: hybrid retry budget propagated to every point (see
+    #: Point.retry_budget)
+    retry_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         # Tolerate lists/generators from callers; store tuples so the
@@ -152,6 +164,7 @@ class ExperimentSpec:
                 check=self.check,
                 tag=self.tag,
                 obs=self.obs,
+                retry_budget=self.retry_budget,
             )
             for workload in self.workloads
             for ncores in self.core_counts
@@ -172,18 +185,25 @@ class ExperimentSpec:
 
 
 def smoke_spec(
-    scale: float = 0.1, ncores: int = 4, seed: int = 1
+    scale: float = 0.1,
+    ncores: int = 4,
+    seed: int = 1,
+    systems: tuple[str, ...] = ("eager", "lazy-vb", "retcon"),
 ) -> ExperimentSpec:
     """The tiny grid used by ``python -m repro sweep --smoke`` and CI.
 
     Three representative workloads (a repairable one, an unrepairable
-    one, and a phase-barrier one) across the three headline systems.
+    one, and a phase-barrier one) across the three headline systems —
+    or any ``systems`` override (CI's hybrid smoke runs it on
+    ``hybrid-retcon`` alone).
     """
     return ExperimentSpec(
         name="smoke",
-        description="CI smoke grid: 3 workloads x 3 systems",
+        description=(
+            f"CI smoke grid: 3 workloads x {len(systems)} systems"
+        ),
         workloads=("python_opt", "genome-sz", "kmeans"),
-        systems=("eager", "lazy-vb", "retcon"),
+        systems=systems,
         core_counts=(ncores,),
         seeds=(seed,),
         scale=scale,

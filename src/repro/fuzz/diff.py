@@ -51,8 +51,16 @@ DEFAULT_BACKENDS = ("eager", "lazy-vb", "retcon")
 #: speculatively forwarded earlier, so their equivalent serial order
 #: is a dependence order, not the commit order; they still get the
 #: golden, oracle (where compatible), and stats checks.
+#: The STM/hybrid family qualifies: software commits publish their
+#: whole write buffer inside one scheduler-atomic commit, and hybrid
+#: hardware commits are the underlying backend's (atomic) commits,
+#: so final memory is the commit-order fold for them too.
 SERIAL_REPLAY_BACKENDS = frozenset(
-    {"eager", "eager-abort", "eager-stall", "lazy", "lazy-vb", "retcon"}
+    {
+        "eager", "eager-abort", "eager-stall", "lazy", "lazy-vb",
+        "retcon", "stm", "hybrid-retcon", "hybrid-eager",
+        "hybrid-lazy-vb", "progressive",
+    }
 )
 
 #: tight watchdog for fuzz-sized programs (they finish in thousands of
@@ -306,7 +314,8 @@ def _negative_counters(stats) -> list[str]:
     bad: list[str] = []
     for cid, core in enumerate(stats.cores):
         for name in ("busy", "conflict", "barrier", "other",
-                     "commits", "stall_events"):
+                     "commits", "stall_events", "stm_commits",
+                     "stm_fallbacks", "barrier_instrs"):
             value = getattr(core, name)
             if value < 0:
                 bad.append(f"core{cid}.{name}={value}")

@@ -1,0 +1,63 @@
+"""RETCON + speculative value forwarding — the paper's proposed future
+work (§7): "we plan to investigate the integration of RETCON with
+mechanisms that use speculative value forwarding such as transactional
+value prediction and dependence-aware transactional memory (DATM) to
+broaden the scope of conflicts that can be avoided."
+
+Division of labour:
+
+* blocks the predictor elects for symbolic tracking take the normal
+  RETCON paths — conflicts on auxiliary data are *repaired*;
+* conflicts that reach the baseline machinery (untracked blocks,
+  trained-down blocks whose values are used as addresses) are handled
+  DATM-style: the speculative value is forwarded and a commit-order
+  dependence recorded, instead of aborting or stalling.
+
+This targets exactly the §5.4 gap: workloads like ``intruder`` whose
+contended values index memory.  Repair cannot help them, but acyclic
+forwarding (e.g. handing the queue head from one dequeuer to the next)
+can commit them back-to-back without rollbacks.
+"""
+
+from __future__ import annotations
+
+from repro.htm.forwarding import ForwardingMixin
+from repro.htm.system import RetconTMSystem
+
+
+class RetconForwardingSystem(ForwardingMixin, RetconTMSystem):
+    name = "retcon-fwd"
+    # A replay against committed state cannot reproduce values that
+    # were forwarded from still-speculative writers, so the repair
+    # oracle would report spurious divergences here.
+    oracle_compatible = False
+
+    def __init__(
+        self, config, memory, fabric, stats, policy="timestamp"
+    ):
+        super().__init__(
+            config, memory, fabric, stats, policy,
+            symbolic_arithmetic=True,
+        )
+        # Blocks whose forwarding chains keep closing cycles (e.g. a
+        # queue index touched twice per transaction) fall back to the
+        # baseline for a while — hysteresis symmetric to the tracking
+        # predictor's train-down.
+        self._init_forwarding(config.ncores, cooldown=50)
+
+    def _resolve(self, core: int, block: int, holders: set[int]) -> None:
+        if (
+            not self.ctx[core].active
+            or core in self._committing
+            or not self._forwarding_allowed(block)
+        ):
+            # Non-transactional requesters, mid-commit conflicts
+            # (pre-commit reacquire / drain), and cooled-down blocks
+            # use the baseline logic.
+            super()._resolve(core, block, holders)
+            return
+        # Keep predictor training: forwarded conflicts are still
+        # conflicts, and blocks that conflict repeatedly should migrate
+        # to the (cheaper) symbolic-repair path.
+        self._observe_conflict(core, block, holders)
+        self._forwarding_resolve(core, block, holders)

@@ -1,0 +1,117 @@
+"""The hybrid TM (HyTM) backend family: HTM fast path + STM fallback.
+
+Each system here runs transactions best-effort on an existing
+hardware backend and escalates to the instrumented software path of
+:class:`repro.stm.backend.STMMixin` when the hardware gives up —
+after ``config.retry_budget`` aborted attempts, or immediately on a
+capacity abort (a footprint that overflows the hardware structures
+overflows them on every retry).
+
+The mixin supplies the HyTM synchronization (clock subscription on
+the hardware side, subscriber dooming + orec publication across the
+commit protocols); the concrete classes just pick the hardware base
+and the fallback flavour:
+
+============== ==================== ===================================
+name           hardware fast path   fallback
+============== ==================== ===================================
+hybrid-retcon  RETCON               optimistic STM (validation aborts)
+hybrid-eager   eager baseline       optimistic STM
+hybrid-lazy-vb lazy-vb              optimistic STM
+progressive    RETCON               pessimistic STM (cannot abort twice)
+============== ==================== ===================================
+
+The progressive variant follows Kuznetsov & Ravi: an escalated
+transaction serializes on the global fallback token, acquires orec
+ownership for its whole footprint, dooms conflicting hardware
+speculation at access time, and commits without validation — so once
+a transaction has fallen back it never aborts again.
+"""
+
+from __future__ import annotations
+
+from repro.coherence.directory import CoherenceFabric
+from repro.htm.system import BaseTMSystem, RetconTMSystem
+from repro.mem.memory import MainMemory
+from repro.sim.config import MachineConfig
+from repro.sim.stats import MachineStats
+from repro.stm.backend import STMMixin
+
+
+class HybridRetconSystem(STMMixin, RetconTMSystem):
+    """RETCON fast path, optimistic STM fallback."""
+
+    name = "hybrid-retcon"
+    hybrid = True
+
+    def __init__(self, config, memory, fabric, stats, policy="timestamp"):
+        super().__init__(config, memory, fabric, stats, policy)
+        self._init_stm()
+
+
+class HybridEagerSystem(STMMixin, BaseTMSystem):
+    """Eager-baseline fast path, optimistic STM fallback."""
+
+    name = "hybrid-eager"
+    hybrid = True
+
+    def __init__(self, config, memory, fabric, stats, policy="timestamp"):
+        super().__init__(config, memory, fabric, stats, policy)
+        self._init_stm()
+
+
+class HybridLazyVBSystem(STMMixin, RetconTMSystem):
+    """Lazy value-based fast path, optimistic STM fallback."""
+
+    name = "hybrid-lazy-vb"
+    hybrid = True
+
+    def __init__(self, config, memory, fabric, stats, policy="timestamp"):
+        super().__init__(
+            config,
+            memory,
+            fabric,
+            stats,
+            policy,
+            symbolic_arithmetic=False,
+            track_all=True,
+        )
+        self._init_stm()
+
+
+class ProgressiveTMSystem(HybridRetconSystem):
+    """RETCON fast path, *pessimistic* STM fallback: the progressive
+    guarantee that a transaction aborts at most once before running
+    obstruction-free to commit."""
+
+    name = "progressive"
+    pessimistic_fallback = True
+
+
+_HYBRIDS = {
+    cls.name: cls
+    for cls in (
+        HybridRetconSystem,
+        HybridEagerSystem,
+        HybridLazyVBSystem,
+        ProgressiveTMSystem,
+    )
+}
+
+#: the hybrid family's backend names, fast-path-first order
+HYBRID_SYSTEMS = tuple(_HYBRIDS)
+
+
+def build_hybrid_system(
+    name: str,
+    config: MachineConfig,
+    memory: MainMemory,
+    fabric: CoherenceFabric,
+    stats: MachineStats,
+) -> STMMixin:
+    """Construct a hybrid backend by name (see :data:`HYBRID_SYSTEMS`)."""
+    try:
+        cls = _HYBRIDS[name]
+    except KeyError:
+        raise ValueError(f"unknown hybrid TM system: {name!r}") from None
+    return cls(config, memory, fabric, stats)

@@ -53,6 +53,15 @@ class TxnContext:
     doomed: bool = False
     doom_reason: str = "conflict"
     overflowed: bool = False
+    #: attempt count for the current logical transaction (1 on the
+    #: first attempt, +1 per restart); hybrid backends compare it to
+    #: the retry budget to decide when to escalate to STM
+    attempts: int = 0
+    #: True while this attempt runs on the STM slow path
+    stm: bool = False
+    #: True once this HTM attempt has loaded the STM clock word
+    #: (hybrid backends only; see repro.htm.hytm)
+    subscribed: bool = False
 
 
 @dataclass(slots=True)
@@ -176,9 +185,14 @@ class BaseTMSystem:
         if not restart:
             self._next_ts += 1
             ctx.ts = self._next_ts
+            ctx.attempts = 1
+        else:
+            ctx.attempts += 1
         ctx.active = True
         ctx.doomed = False
         ctx.overflowed = False
+        ctx.stm = False
+        ctx.subscribed = False
         ctx.block_mode.clear()
         engine = self.engine(core)
         if engine is not None:
@@ -339,6 +353,9 @@ class BaseTMSystem:
 
     def _abort_self(self, core: int, reason: str) -> None:
         ctx = self.ctx[core]
+        # Record the reason even for self-aborts: hybrid backends read
+        # it at restart to escalate capacity-aborted transactions.
+        ctx.doom_reason = reason
         ctx.undo.rollback(self.memory)
         self.fabric.clear_spec(core)
         engine = self.engine(core)
@@ -561,6 +578,22 @@ class BaseTMSystem:
     def _pre_commit(self, core: int) -> CommitResult:
         """Hook: RETCON's pre-commit repair. Baseline commits in 0 cycles."""
         return _COMMIT_FREE
+
+    # ------------------------------------------------------------------
+    # Commit lifecycle hooks (consumed by the hybrid TM family)
+    # ------------------------------------------------------------------
+    def _pre_drain(self, core: int, plan) -> None:
+        """Hook: called with the commit plan after validation, before
+        any buffered store touches memory.  Hybrid backends veto the
+        commit here (``_abort_self``) when a drained block's STM
+        metadata is owned by a pessimistic fallback."""
+
+    def _on_commit_stores(
+        self, core: int, stores: list[tuple[int, int, int]]
+    ) -> None:
+        """Hook: called after buffered stores drained to memory.
+        Hybrid backends publish the drained blocks to the STM metadata
+        (orec version bumps) so software validation observes them."""
 
 
 class RetconTMSystem(BaseTMSystem):
@@ -816,6 +849,8 @@ class RetconTMSystem(BaseTMSystem):
         if self.oracle is not None:
             self.oracle.check_commit(core, engine, ctx.undo, plan, self.memory)
 
+        self._pre_drain(core, plan)
+
         if plan.stores:
             # Resolve every drain conflict before touching memory so a
             # stall cannot leave a half-drained commit visible.
@@ -842,6 +877,7 @@ class RetconTMSystem(BaseTMSystem):
                     self._m_repairs.inc()
                 if self.tracer is not None:
                     self._trace("repair", core, addr=addr, value=final_value)
+            self._on_commit_stores(core, plan.stores)
 
         sample = engine.sample(commit_cycles=latency)
         self.stats.record_retcon_sample(core, sample)
@@ -886,7 +922,16 @@ def build_system(
 
         return DATMSystem(config, memory, fabric, stats)
     if name == "retcon-fwd":
-        from repro.htm.hybrid import RetconForwardingSystem
+        from repro.htm.forwarding_hybrid import RetconForwardingSystem
 
         return RetconForwardingSystem(config, memory, fabric, stats)
+    if name == "stm":
+        from repro.stm.backend import STMSystem
+
+        return STMSystem(config, memory, fabric, stats)
+    if name in ("hybrid-retcon", "hybrid-eager", "hybrid-lazy-vb",
+                "progressive"):
+        from repro.htm.hytm import build_hybrid_system
+
+        return build_hybrid_system(name, config, memory, fabric, stats)
     raise ValueError(f"unknown TM system: {name!r}")

@@ -31,7 +31,9 @@ from typing import Iterable, Optional
 from repro.obs.events import EventStream, TraceEvent
 
 #: event kinds rendered as thread-scoped instants
-INSTANT_KINDS = ("repair", "steal", "forward", "stall", "conflict")
+INSTANT_KINDS = (
+    "repair", "steal", "forward", "stall", "conflict", "fallback",
+)
 
 #: phases the validator accepts (the subset the exporter emits)
 _VALID_PHASES = {"X", "i", "M"}

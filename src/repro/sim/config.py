@@ -63,6 +63,30 @@ class MachineConfig:
     # re-attempting a conflicting access.
     stall_retry_cycles: int = 20
 
+    # Hybrid TM (HyTM): HTM attempts a transaction gets before its
+    # next restart escalates to the STM slow path.  0 means every
+    # transaction runs STM from its first attempt; only the hybrid-*
+    # and progressive backends consult it.
+    retry_budget: int = 4
+
+    # STM slow path: ownership-record (orec) table size and the
+    # per-operation instrumentation costs, charged as extra ISA
+    # instructions (1 cycle each at 1 IPC) on top of the coherence
+    # latency of touching the metadata blocks themselves.
+    stm_orecs: int = 256
+    #: read barrier: hash + orec version load + read-set append
+    stm_read_barrier_instrs: int = 2
+    #: write barrier: hash + write-buffer insert + write-set append
+    stm_write_barrier_instrs: int = 3
+    #: commit-time validation, per read-set orec
+    stm_validate_instrs: int = 1
+    #: commit-time publish, per write-set orec (acquire + version bump)
+    stm_commit_instrs: int = 2
+    #: HTM-side instrumentation, per event: the begin-time subscription
+    #: load of the STM clock and, in hybrid mode, each commit-time orec
+    #: version bump that makes HTM writes visible to STM validation
+    stm_subscribe_instrs: int = 1
+
     # Zero-cycle rollback (paper §2: the baseline models an efficient
     # zero-cycle rollback latency).
     abort_cycles: int = 0

@@ -44,6 +44,10 @@ class WorkloadResult:
     oracle_violations: list[dict] = field(default_factory=list)
     #: serialized :class:`repro.check.golden.GoldenDiff`, if one ran
     golden: Optional[dict] = None
+    #: STM / hybrid-backend counters (empty for pure-HTM systems):
+    #: stm_commits, fallbacks, fallback_rate, barrier_instrs,
+    #: subscription_aborts
+    stm: dict = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -72,7 +76,7 @@ class WorkloadResult:
     # -- JSON round-trip (used by the result cache) --------------------
     def to_dict(self) -> dict:
         """Plain-JSON representation; :meth:`from_dict` inverts it."""
-        return {
+        out = {
             "workload": self.workload,
             "system": self.system,
             "ncores": self.ncores,
@@ -94,6 +98,12 @@ class WorkloadResult:
             "oracle_violations": list(self.oracle_violations),
             "golden": self.golden,
         }
+        # Only the hybrid/software backends populate this; omitting an
+        # empty dict keeps hardware-only results byte-identical to the
+        # pre-HyTM golden stats fixtures.
+        if self.stm:
+            out["stm"] = dict(self.stm)
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "WorkloadResult":
@@ -124,6 +134,7 @@ class WorkloadResult:
             oracle_commits=data.get("oracle_commits", 0),
             oracle_violations=list(data.get("oracle_violations", ())),
             golden=data.get("golden"),
+            stm=dict(data.get("stm", ())),
         )
 
 
@@ -213,6 +224,17 @@ def run_workload(
             strict_memory=generated.strict_golden,
         ).to_dict()
     stats = parallel.stats
+    stm_dict: dict = {}
+    if stats.total_stm_commits() or stats.total_stm_fallbacks() or (
+        stats.total_barrier_instrs()
+    ):
+        stm_dict = {
+            "stm_commits": stats.total_stm_commits(),
+            "fallbacks": stats.total_stm_fallbacks(),
+            "fallback_rate": stats.stm_fallback_rate(),
+            "barrier_instrs": stats.total_barrier_instrs(),
+            "subscription_aborts": stats.subscription_aborts(),
+        }
     return WorkloadResult(
         workload=name,
         system=system,
@@ -231,6 +253,7 @@ def run_workload(
         oracle_commits=oracle_commits,
         oracle_violations=oracle_violations,
         golden=golden_dict,
+        stm=stm_dict,
     )
 
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.core.engine import TxnRetconSample
+from repro.core.engine import TxnRetconSample, TxnStmSample
 
 
 @dataclass(slots=True)
@@ -51,6 +51,13 @@ class CoreStats:
     commits: int = 0
     aborts: dict[str, int] = field(default_factory=dict)
     stall_events: int = 0
+    #: commits that ran on the STM slow path (subset of ``commits``)
+    stm_commits: int = 0
+    #: logical transactions that escalated from HTM to STM
+    stm_fallbacks: int = 0
+    #: instrumentation instructions: STM barriers/validation/publish
+    #: plus hybrid HTM-side subscription and orec publication
+    barrier_instrs: int = 0
     #: committed / aborted transaction counts per txn label
     label_commits: dict[str, int] = field(default_factory=dict)
     label_aborts: dict[str, int] = field(default_factory=dict)
@@ -94,6 +101,13 @@ class MachineStats:
         "commit_cycles",
     )
 
+    STM_FIELDS = (
+        "read_set",
+        "write_set",
+        "barrier_instrs",
+        "commit_cycles",
+    )
+
     def __init__(self, ncores: int) -> None:
         self.ncores = ncores
         self._cores = [CoreStats() for _ in range(ncores)]
@@ -103,6 +117,8 @@ class MachineStats:
         self._pending_retcon: list[Optional[TxnRetconSample]] = [
             None
         ] * ncores
+        self._stm = {name: _Agg() for name in self.STM_FIELDS}
+        self._pending_stm: list[Optional[TxnStmSample]] = [None] * ncores
         #: optional :class:`repro.obs.metrics.MetricsRegistry`; when
         #: attached, commit-boundary samples also feed its histograms.
         self.metrics = None
@@ -135,11 +151,20 @@ class MachineStats:
             self.metrics.observe("txn.duration_cycles", duration)
             self.metrics.observe("txn.commit_cycles", commit_cycles)
         sample = self._pending_retcon[core]
-        self._pending_retcon[core] = None
-        if sample is None:
-            return
-        for name in self.RETCON_FIELDS:
-            self._retcon[name].add(getattr(sample, name))
+        if sample is not None:
+            self._pending_retcon[core] = None
+            for name in self.RETCON_FIELDS:
+                self._retcon[name].add(getattr(sample, name))
+        stm = self._pending_stm[core]
+        if stm is not None:
+            self._pending_stm[core] = None
+            for name in self.STM_FIELDS:
+                self._stm[name].add(getattr(stm, name))
+
+    def record_stm_sample(self, core: int, sample: TxnStmSample) -> None:
+        """Called by the STM commit protocol; paired with the
+        interpreter's :meth:`record_txn` like the RETCON sample."""
+        self._pending_stm[core] = sample
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -221,3 +246,40 @@ class MachineStats:
         if attempts == 0:
             return 0.0
         return 100.0 * aborts / attempts
+
+    # ------------------------------------------------------------------
+    # STM / hybrid aggregates
+    # ------------------------------------------------------------------
+    def total_stm_commits(self) -> int:
+        return sum(c.stm_commits for c in self._cores)
+
+    def total_stm_fallbacks(self) -> int:
+        return sum(c.stm_fallbacks for c in self._cores)
+
+    def total_barrier_instrs(self) -> int:
+        return sum(c.barrier_instrs for c in self._cores)
+
+    def subscription_aborts(self) -> int:
+        """Aborted attempts attributed to HTM/STM synchronization
+        (clock-subscription dooms and owned-orec commit vetoes)."""
+        return sum(c.aborts.get("subscription", 0) for c in self._cores)
+
+    def stm_fallback_rate(self) -> float:
+        """Committed transactions that escalated to the software path,
+        as a fraction of all commits.
+
+        Guarded like :meth:`abort_rate_percent`: an all-fallback or
+        all-abort run (retry_budget=0 under an adversarial schedule)
+        may have zero commits and must not divide by zero.
+        """
+        commits = self.total_commits()
+        if commits == 0:
+            return 0.0
+        return self.total_stm_commits() / commits
+
+    def stm_summary(self) -> dict[str, tuple[float, float]]:
+        """(average, maximum) per committed-STM-transaction sample."""
+        return {
+            name: (agg.mean, agg.maximum)
+            for name, agg in self._stm.items()
+        }

@@ -1,0 +1,24 @@
+"""Software transactional memory: the HyTM slow path.
+
+The STM backend executes transactions against the same simulated
+memory and coherence fabric as the hardware backends, but implements
+conflict detection in *software*: per-location ownership/version
+metadata (orecs) laid out in simulated memory by the bump allocator,
+instrumented read/write barriers charged as extra ISA instructions,
+lazy versioning in a private write buffer, and commit-time validation.
+
+:mod:`repro.stm.metadata` lays out the metadata region;
+:mod:`repro.stm.backend` implements the barriers and the commit
+protocol, both standalone (``stm``) and as the escalation target of
+the hybrid family in :mod:`repro.htm.hytm`.
+"""
+
+from repro.stm.backend import STMMixin, STMSystem
+from repro.stm.metadata import STM_META_BASE, StmMetadata
+
+__all__ = [
+    "STMMixin",
+    "STMSystem",
+    "StmMetadata",
+    "STM_META_BASE",
+]

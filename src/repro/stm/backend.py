@@ -1,0 +1,679 @@
+"""The STM slow path: barriers, commit protocol, and the HyTM glue.
+
+:class:`STMMixin` implements a word-based software TM in the style of
+TL2/NOrec, executing against the *simulated* memory and coherence
+fabric so its costs are charged in the same currency as the hardware
+backends':
+
+* **metadata in simulated memory** — the orec table, global version
+  clock, and fallback token are laid out by
+  :class:`repro.stm.metadata.StmMetadata`; every barrier pays real
+  coherence latency for the metadata blocks it touches (and the orec
+  table's false sharing is real, four orecs per cache block);
+* **instrumented barriers** — each read/write barrier additionally
+  charges ``stm_read_barrier_instrs`` / ``stm_write_barrier_instrs``
+  extra ISA instructions (1 cycle each at 1 IPC), the instrumentation
+  overhead axis of the Brown & Ravi tradeoff;
+* **lazy versioning** — transactional stores go to a private
+  byte-granular write buffer; memory is untouched until commit, so an
+  STM abort needs no rollback;
+* **commit-time validation** — the read set is a map orec → version
+  sampled at first read; commit revalidates every entry and aborts
+  (reason ``"validation"``) on any mismatch, then publishes: write
+  buffer → memory, write-set orec bumps, global clock bump.
+
+Hybrid (HyTM) mode adds the synchronization that makes hardware and
+software transactions mutually safe:
+
+* hardware transactions **subscribe** to the clock block with a plain
+  speculative load at their first access; a writing STM commit dooms
+  every subscriber (reason ``"subscription"``) *before* it writes
+  back, so a doomed transaction's rollback can never clobber
+  committed data;
+* hardware commits **publish** their write sets to the orec table
+  (version bumps, charged ``stm_subscribe_instrs`` each) so software
+  validation observes them; non-transactional stores bump orecs too
+  (strong isolation);
+* the **progressive** variant (Kuznetsov & Ravi) makes the fallback
+  pessimistic: it serializes on the fallback token, acquires orec
+  *ownership* for everything it touches, dooms conflicting hardware
+  speculation at access time, and commits without validation — once
+  escalated it structurally cannot abort again (it owns its footprint,
+  holds no speculative state the fabric could kill, and skips the
+  only self-abort, validation).
+
+The mixin layers over any :class:`~repro.htm.system.BaseTMSystem`
+subclass; :class:`STMSystem` is the standalone always-software
+backend, and :mod:`repro.htm.hytm` builds the hybrid family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import TxnStmSample
+from repro.htm.events import StallRetry
+from repro.htm.system import (
+    BaseTMSystem,
+    CommitResult,
+    LoadResult,
+    StoreResult,
+)
+from repro.mem.address import BLOCK_SIZE, block_of
+from repro.stm.metadata import StmMetadata
+
+#: fault-injection stage fired on the STM commit plan (see
+#: repro.check.faults.STM_COMMIT)
+STM_COMMIT_STAGE = "stm-commit"
+
+
+@dataclass(slots=True)
+class _StmTxn:
+    """Per-attempt software transaction state."""
+
+    #: private write buffer, byte addr -> byte value (lazy versioning)
+    wbuf: dict[int, int] = field(default_factory=dict)
+    #: data blocks with buffered writes
+    write_blocks: set[int] = field(default_factory=set)
+    #: optimistic read set: orec version-word addr -> version at first read
+    read_orecs: dict[int, int] = field(default_factory=dict)
+    #: orecs covering the write set (bumped at publish)
+    write_orecs: set[int] = field(default_factory=set)
+    #: orecs whose owner word this transaction holds (progressive)
+    owned_orecs: set[int] = field(default_factory=set)
+    #: instrumentation instructions charged so far (flushed to stats)
+    barrier_instrs: int = 0
+    #: progressive fallback: own the footprint instead of validating
+    pessimistic: bool = False
+    #: progressive fallback: holds the global fallback token
+    holds_token: bool = False
+
+
+class _StmCommitPlan:
+    """The STM analogue of RETCON's CommitPlan: just the buffered
+    stores as (addr, size, value) runs, no register repairs.  Shaped
+    so :meth:`repro.check.oracle.RepairOracle.check_commit` and the
+    ``stm-commit`` fault stage consume it unchanged."""
+
+    __slots__ = ("stores", "registers")
+
+    def __init__(self, stores: list[tuple[int, int, int]]) -> None:
+        self.stores = stores
+        self.registers: list[tuple[int, int]] = []
+
+
+class _EmptyBuffer:
+    @staticmethod
+    def entries():
+        return ()
+
+
+class _EmptyRegs:
+    @staticmethod
+    def get(reg):
+        return None
+
+
+class _StmEngineView:
+    """Just enough RetconEngine surface for the oracle's commit check:
+    no symbolic store buffer, no symbolic registers."""
+
+    ssb = _EmptyBuffer()
+    sregs = _EmptyRegs()
+
+
+_STM_ENGINE_VIEW = _StmEngineView()
+
+
+class _CommittedView:
+    """A read view of memory with every *other* active transaction's
+    eager speculative writes undone (their undo-log pre-images
+    overlaid).  The oracle replays an STM commit against this:
+    software reads always resolve to architecturally committed values
+    (the read barrier dooms or waits out speculative writers), but by
+    commit time a fresh hardware transaction may hold dirty bytes the
+    replay would otherwise see."""
+
+    __slots__ = ("_memory", "_pre")
+
+    def __init__(self, memory, pre_images) -> None:
+        self._memory = memory
+        self._pre = [p for p in pre_images if p]
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        raw = self._memory.read_bytes(addr, size)
+        if not self._pre:
+            return raw
+        out = bytearray(raw)
+        for pre in self._pre:
+            for i in range(size):
+                byte = pre.get(addr + i)
+                if byte is not None:
+                    out[i] = byte
+        return bytes(out)
+
+
+def _coalesce(wbuf: dict[int, int]) -> list[tuple[int, int, int]]:
+    """Collapse a byte write buffer into maximal contiguous
+    (addr, size, little-endian value) runs, in address order."""
+    stores: list[tuple[int, int, int]] = []
+    addrs = sorted(wbuf)
+    i, n = 0, len(addrs)
+    while i < n:
+        start = addrs[i]
+        j = i + 1
+        while j < n and addrs[j] == addrs[j - 1] + 1:
+            j += 1
+        data = bytes(wbuf[a] for a in addrs[i:j])
+        stores.append((start, len(data), int.from_bytes(data, "little")))
+        i = j
+    return stores
+
+
+class STMMixin:
+    """Software path + escalation policy, layered over an HTM base.
+
+    Class knobs (overridden by the concrete systems):
+
+    * ``hybrid`` — False: every transaction is software (the pure STM
+      backend).  True: transactions start on the inherited hardware
+      path and escalate per the retry budget / capacity policy.
+    * ``pessimistic_fallback`` — the progressive variant's fallback
+      (token-serialized, ownership-acquiring, validation-free).
+    """
+
+    hybrid = False
+    pessimistic_fallback = False
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _init_stm(self) -> None:
+        """Called by concrete subclasses at the end of __init__."""
+        self.meta = StmMetadata(self.config)
+        ncores = self.config.ncores
+        self._stm_txns: list[_StmTxn | None] = [None] * ncores
+        #: sticky per-logical-transaction escalation flag: once a
+        #: transaction falls back it stays on the software path until
+        #: it commits (cleared on the next fresh begin)
+        self._escalated = [False] * ncores
+        #: core holding the fallback token (progressive), or None
+        self._fallback_owner: int | None = None
+        #: blocks drained by the in-progress HTM commit (recorded by
+        #: the _on_commit_stores hook, published to orecs afterwards)
+        self._hybrid_drained: list[set[int]] = [set() for _ in range(ncores)]
+        self._m_stm_fallbacks = None
+        self._m_stm_barrier = None
+        self._m_stm_subscriptions = None
+
+    def bind_metrics(self, registry) -> None:
+        super().bind_metrics(registry)
+        self._m_stm_fallbacks = registry.counter("stm.fallbacks")
+        self._m_stm_barrier = registry.counter("stm.barrier_instrs")
+        self._m_stm_subscriptions = registry.counter(
+            "stm.subscription_aborts"
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle: escalation policy
+    # ------------------------------------------------------------------
+    def begin(self, core: int, restart: bool = False) -> None:
+        if not restart:
+            self._escalated[core] = False
+        super().begin(core, restart)
+        ctx = self.ctx[core]
+        if self._stm_elects(core, ctx, restart):
+            self._stm_begin(core, ctx)
+
+    def _stm_elects(self, core: int, ctx, restart: bool) -> bool:
+        """Does this attempt run on the software path?
+
+        Hybrid policy: escalate when the logical transaction already
+        escalated, when it has exhausted its HTM retry budget, or when
+        the hardware aborted it for capacity (retrying a transaction
+        whose footprint exceeds the hardware structures is futile).
+        """
+        if self._escalated[core]:
+            return True
+        if ctx.attempts > self.config.retry_budget:
+            return True
+        return restart and ctx.doom_reason == "capacity"
+
+    def _stm_begin(self, core: int, ctx) -> None:
+        ctx.stm = True
+        self._stm_txns[core] = _StmTxn(
+            pessimistic=self.pessimistic_fallback
+        )
+        if not self._escalated[core]:
+            self._escalated[core] = True
+            if self.hybrid:
+                # Only count a *fallback* when hardware was tried and
+                # gave up; the pure STM backend is software by design.
+                self.stats.core(core).stm_fallbacks += 1
+                if self.metrics is not None:
+                    self._m_stm_fallbacks.inc()
+                self._trace(
+                    "fallback",
+                    core,
+                    attempts=ctx.attempts,
+                    reason=ctx.doom_reason,
+                )
+
+    # ------------------------------------------------------------------
+    # Memory operation dispatch
+    # ------------------------------------------------------------------
+    def load(self, core: int, addr: int, size: int) -> LoadResult:
+        ctx = self.ctx[core]
+        if ctx.active:
+            if ctx.stm:
+                return self._stm_load(core, addr, size)
+            if self.hybrid and not ctx.subscribed:
+                extra = self._subscribe(core)
+                result = super().load(core, addr, size)
+                return LoadResult(
+                    result.value, result.latency + extra, result.sym
+                )
+        return super().load(core, addr, size)
+
+    def store(self, core, addr, size, value, sym=None) -> StoreResult:
+        ctx = self.ctx[core]
+        if ctx.active:
+            if ctx.stm:
+                return self._stm_store(core, addr, size, value)
+            if self.hybrid and not ctx.subscribed:
+                extra = self._subscribe(core)
+                result = super().store(core, addr, size, value, sym)
+                return StoreResult(latency=result.latency + extra)
+            return super().store(core, addr, size, value, sym)
+        result = super().store(core, addr, size, value, sym)
+        self._nontx_publish(addr, size)
+        return result
+
+    def _subscribe(self, core: int) -> int:
+        """Hardware-side begin instrumentation: speculatively load the
+        STM clock block at the transaction's first access, so any
+        writing software commit dooms it through the normal eager
+        conflict machinery."""
+        latency = self._eager_block_access(
+            core, self.meta.clock_block, write=False
+        )
+        cost = self.config.stm_subscribe_instrs
+        self.stats.core(core).barrier_instrs += cost
+        if self.metrics is not None:
+            self._m_stm_barrier.inc(cost)
+        self.ctx[core].subscribed = True
+        return latency + cost
+
+    def _nontx_publish(self, addr: int, size: int) -> None:
+        """Strong isolation: a non-transactional store bumps the orec
+        versions of the blocks it touches so concurrent software
+        validation observes it.  Bookkeeping-only (no latency): the
+        data access itself was already charged."""
+        meta = self.meta
+        mem = self.memory
+        first = addr // BLOCK_SIZE
+        last = (addr + size - 1) // BLOCK_SIZE
+        for blk in range(first, last + 1):
+            orec = meta.orec_addr(blk)
+            mem.write(orec, mem.read(orec, 8) + 1, 8)
+
+    # ------------------------------------------------------------------
+    # Software barriers
+    # ------------------------------------------------------------------
+    def _ensure_token(self, core: int, txn: _StmTxn) -> int:
+        """Progressive fallback serialization: claim the global token
+        before the first data access; wait (StallRetry) while another
+        fallback holds it."""
+        if not txn.pessimistic or txn.holds_token:
+            return 0
+        owner = self._fallback_owner
+        if owner is not None and owner != core:
+            raise StallRetry(self.meta.token_block, {owner})
+        outcome = self.fabric.acquire(
+            core, self.meta.token_block, write=True
+        )
+        self.memory.write(self.meta.token_addr, core + 1, 8)
+        self._fallback_owner = core
+        txn.holds_token = True
+        return outcome.latency
+
+    def _stm_load(self, core: int, addr: int, size: int) -> LoadResult:
+        txn = self._stm_txns[core]
+        cfg = self.config
+        latency = self._ensure_token(core, txn)
+        cost = cfg.stm_read_barrier_instrs
+        txn.barrier_instrs += cost
+        latency += cost
+        fabric = self.fabric
+        first = addr // BLOCK_SIZE
+        last = (addr + size - 1) // BLOCK_SIZE
+        for blk in range(first, last + 1):
+            # A remote hardware transaction may hold this block dirty
+            # (eager versioning): resolve it so the value we read is
+            # architecturally committed.
+            writers = fabric._spec_writers.get(blk)
+            if writers is not None and (
+                len(writers) > 1 or core not in writers
+            ):
+                self._stm_data_conflict(core, blk, set(writers))
+            latency += fabric.acquire(core, blk, write=False).latency
+            latency += self._orec_read(core, txn, blk)
+        raw = bytearray(self.memory.read_bytes(addr, size))
+        if txn.wbuf:
+            wbuf = txn.wbuf
+            for i in range(size):
+                byte = wbuf.get(addr + i)
+                if byte is not None:
+                    raw[i] = byte
+        value = int.from_bytes(raw, "little", signed=True)
+        return LoadResult(value=value, latency=latency)
+
+    def _stm_store(
+        self, core: int, addr: int, size: int, value: int
+    ) -> StoreResult:
+        txn = self._stm_txns[core]
+        cfg = self.config
+        latency = self._ensure_token(core, txn)
+        cost = cfg.stm_write_barrier_instrs
+        txn.barrier_instrs += cost
+        latency += cost
+        data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        wbuf = txn.wbuf
+        for i, byte in enumerate(data):
+            wbuf[addr + i] = byte
+        first = addr // BLOCK_SIZE
+        last = (addr + size - 1) // BLOCK_SIZE
+        for blk in range(first, last + 1):
+            if blk in txn.write_blocks:
+                continue
+            txn.write_blocks.add(blk)
+            orec = self.meta.orec_addr(blk)
+            txn.write_orecs.add(orec)
+            if txn.pessimistic and orec not in txn.owned_orecs:
+                latency += self._own_orec(core, txn, orec)
+        return StoreResult(latency=latency)
+
+    def _orec_read(self, core: int, txn: _StmTxn, blk: int) -> int:
+        """First read of a block: sample its orec version (optimistic)
+        or acquire its owner word (pessimistic)."""
+        orec = self.meta.orec_addr(blk)
+        if orec in txn.read_orecs or orec in txn.owned_orecs:
+            return 0
+        if txn.pessimistic:
+            return self._own_orec(core, txn, orec)
+        latency = self.fabric.acquire(
+            core, block_of(orec), write=False
+        ).latency
+        txn.read_orecs[orec] = self.memory.read(orec, 8)
+        return latency
+
+    def _own_orec(self, core: int, txn: _StmTxn, orec: int) -> int:
+        """Progressive fallback: write our id into the orec's owner
+        word.  Conflicting hardware commits check it and abort."""
+        latency = self.fabric.acquire(core, block_of(orec), write=True).latency
+        self.memory.write(self.meta.owner_addr(orec), core + 1, 8)
+        txn.owned_orecs.add(orec)
+        return latency
+
+    def _stm_data_conflict(
+        self, core: int, blk: int, writers: set[int]
+    ) -> None:
+        """A software read found remote eager speculative writers.
+
+        The pessimistic fallback always wins (it must never abort);
+        an optimistic software transaction goes through the normal
+        contention policy, so it may stall or abort like any other
+        requester.
+        """
+        if self._stm_txns[core].pessimistic:
+            for holder in sorted(writers):
+                if holder != core and self.ctx[holder].active:
+                    self._doom_htm(holder)
+        else:
+            self._resolve(core, blk, writers)
+            self._check_self_doom(core)
+
+    def _doom_htm(self, victim: int) -> None:
+        self._doom(victim, reason="subscription")
+        if self.metrics is not None:
+            self._m_stm_subscriptions.inc()
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+    def _pre_commit(self, core: int) -> CommitResult:
+        ctx = self.ctx[core]
+        if ctx.stm:
+            return self._stm_pre_commit(core)
+        if not self.hybrid:
+            return super()._pre_commit(core)
+        drained = self._hybrid_drained[core]
+        drained.clear()
+        if self.pessimistic_fallback:
+            spec_written = self.fabric.cores[core].spec_written
+            if spec_written:
+                self._htm_owner_check(core, spec_written)
+        result = super()._pre_commit(core)
+        blocks = set(self.fabric.cores[core].spec_written)
+        if drained:
+            blocks |= drained
+            drained.clear()
+        if not blocks:
+            return result
+        extra = self._htm_publish(core, blocks)
+        return CommitResult(
+            latency=result.latency + extra,
+            register_repairs=result.register_repairs,
+        )
+
+    def _pre_drain(self, core: int, plan) -> None:
+        """Progressive: veto a hardware commit whose buffered stores
+        target blocks the pessimistic fallback owns."""
+        super()._pre_drain(core, plan)
+        if (
+            self.pessimistic_fallback
+            and not self.ctx[core].stm
+            and plan is not None
+            and plan.stores
+        ):
+            self._htm_owner_check(
+                core, {block_of(a) for a, _s, _v in plan.stores}
+            )
+
+    def _on_commit_stores(self, core: int, stores) -> None:
+        super()._on_commit_stores(core, stores)
+        if self.hybrid and not self.ctx[core].stm:
+            self._hybrid_drained[core].update(
+                block_of(a) for a, _s, _v in stores
+            )
+
+    def _htm_owner_check(self, core: int, blocks) -> None:
+        """Abort (reason "subscription") if any block's orec is owned
+        by a pessimistic fallback: the fallback read it and performs
+        no validation, so a hardware write would break its snapshot."""
+        meta = self.meta
+        mem = self.memory
+        for orec in {meta.orec_addr(b) for b in blocks}:
+            if mem.read(meta.owner_addr(orec), 8) != 0:
+                if self.metrics is not None:
+                    self._m_stm_subscriptions.inc()
+                self._abort_self(core, reason="subscription")
+
+    def _htm_publish(self, core: int, blocks: set[int]) -> int:
+        """Hardware-side commit instrumentation: bump the orec version
+        of every written block so software validation observes the
+        commit.  Charged stm_subscribe_instrs per orec, plus the
+        coherence latency of the orec blocks."""
+        meta = self.meta
+        mem = self.memory
+        orecs = sorted({meta.orec_addr(b) for b in blocks})
+        cost = len(orecs) * self.config.stm_subscribe_instrs
+        latency = cost
+        for orec in orecs:
+            latency += self.fabric.acquire(
+                core, block_of(orec), write=True
+            ).latency
+            mem.write(orec, mem.read(orec, 8) + 1, 8)
+        self.stats.core(core).barrier_instrs += cost
+        if self.metrics is not None:
+            self._m_stm_barrier.inc(cost)
+        return latency
+
+    def _stm_pre_commit(self, core: int) -> CommitResult:
+        ctx = self.ctx[core]
+        txn = self._stm_txns[core]
+        cfg = self.config
+        meta = self.meta
+        mem = self.memory
+        fabric = self.fabric
+        latency = 0
+
+        # Commit-time validation (optimistic only): every read orec
+        # must still hold the version sampled at first read.
+        if txn.read_orecs:
+            cost = len(txn.read_orecs) * cfg.stm_validate_instrs
+            txn.barrier_instrs += cost
+            latency += cost
+            for orec, version in txn.read_orecs.items():
+                latency += fabric.acquire(
+                    core, block_of(orec), write=False
+                ).latency
+                if mem.read(orec, 8) != version:
+                    self._abort_self(core, reason="validation")
+
+        plan = _StmCommitPlan(_coalesce(txn.wbuf))
+        if self.fault_injector is not None:
+            self.fault_injector.fire(STM_COMMIT_STAGE, None, plan)
+        if self.oracle is not None:
+            view = _CommittedView(
+                mem,
+                [
+                    other.undo.pre_image()
+                    for i, other in enumerate(self.ctx)
+                    if i != core and other.active
+                ],
+            )
+            self.oracle.check_commit(
+                core, _STM_ENGINE_VIEW, ctx.undo, plan, view
+            )
+
+        if plan.stores:
+            if self.hybrid:
+                # Doom every subscribed hardware transaction *before*
+                # writing back: their eager rollback must not clobber
+                # our committed bytes.  (Any hardware transaction with
+                # speculative state subscribed at its first access.)
+                for other, octx in enumerate(self.ctx):
+                    if (
+                        other != core
+                        and octx.active
+                        and not octx.stm
+                        and octx.subscribed
+                        and not octx.doomed
+                    ):
+                        self._doom_htm(other)
+            # Publish: write buffer -> memory (block acquires charged),
+            # then write-set orec bumps, then the global clock.
+            for blk in sorted(
+                {block_of(a) for a, _s, _v in plan.stores}
+            ):
+                outcome = fabric.acquire(core, blk, write=True)
+                latency += max(1, outcome.latency)
+                if outcome.invalidated:
+                    self._notify_trackers(core, blk, outcome.invalidated)
+            for addr, size, value in plan.stores:
+                mem.write_bytes(
+                    addr,
+                    (value & ((1 << (8 * size)) - 1)).to_bytes(
+                        size, "little"
+                    ),
+                )
+            cost = len(txn.write_orecs) * cfg.stm_commit_instrs
+            txn.barrier_instrs += cost
+            latency += cost
+            for orec in sorted(txn.write_orecs):
+                latency += fabric.acquire(
+                    core, block_of(orec), write=True
+                ).latency
+                mem.write(orec, mem.read(orec, 8) + 1, 8)
+            latency += fabric.acquire(
+                core, meta.clock_block, write=True
+            ).latency
+            mem.write(meta.clock_addr, mem.read(meta.clock_addr, 8) + 1, 8)
+
+        self._stm_finalize(core, txn, latency)
+        return CommitResult(latency=latency)
+
+    def _stm_finalize(
+        self, core: int, txn: _StmTxn, commit_cycles: int
+    ) -> None:
+        """Successful software commit: record the sample, flush the
+        instrumentation counters, release ownership."""
+        stats = self.stats
+        sample = TxnStmSample(
+            read_set=len(txn.read_orecs) or len(txn.owned_orecs),
+            write_set=len(txn.write_orecs),
+            barrier_instrs=txn.barrier_instrs,
+            commit_cycles=commit_cycles,
+        )
+        stats.record_stm_sample(core, sample)
+        core_stats = stats.core(core)
+        core_stats.stm_commits += 1
+        core_stats.barrier_instrs += txn.barrier_instrs
+        if self.metrics is not None and txn.barrier_instrs:
+            self._m_stm_barrier.inc(txn.barrier_instrs)
+        self._stm_release(core, txn)
+        self._stm_txns[core] = None
+
+    def _stm_release(self, core: int, txn: _StmTxn) -> None:
+        """Drop pessimistic ownership: zero the owner words and free
+        the fallback token (bookkeeping writes, zero-cycle like
+        rollback)."""
+        mem = self.memory
+        meta = self.meta
+        for orec in txn.owned_orecs:
+            mem.write(meta.owner_addr(orec), 0, 8)
+        if txn.holds_token:
+            mem.write(meta.token_addr, 0, 8)
+            self._fallback_owner = None
+
+    # ------------------------------------------------------------------
+    # Abort cleanup
+    # ------------------------------------------------------------------
+    def _stm_abort_flush(self, core: int) -> None:
+        txn = self._stm_txns[core]
+        if txn is None:
+            return
+        self.stats.core(core).barrier_instrs += txn.barrier_instrs
+        if self.metrics is not None and txn.barrier_instrs:
+            self._m_stm_barrier.inc(txn.barrier_instrs)
+        self._stm_release(core, txn)
+        self._stm_txns[core] = None
+
+    def _doom(self, core: int, reason: str) -> None:
+        was_stm = self.ctx[core].active and self.ctx[core].stm
+        super()._doom(core, reason)
+        if was_stm:
+            self._stm_abort_flush(core)
+
+    def _abort_self(self, core: int, reason: str) -> None:
+        ctx = self.ctx[core]
+        if ctx.active and ctx.stm:
+            self._stm_abort_flush(core)
+        super()._abort_self(core, reason)
+
+
+class STMSystem(STMMixin, BaseTMSystem):
+    """The standalone software TM backend: every transaction runs the
+    instrumented software path; conflict detection is entirely
+    commit-time validation (no speculative state, no capacity limits).
+    """
+
+    name = "stm"
+
+    def __init__(self, config, memory, fabric, stats, policy="timestamp"):
+        super().__init__(config, memory, fabric, stats, policy)
+        self._init_stm()
+
+    def _stm_elects(self, core, ctx, restart):
+        return True

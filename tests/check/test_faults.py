@@ -15,9 +15,9 @@ class TestCatalog:
     def test_at_least_ten_distinct_faults(self):
         assert len(FAULT_POINTS) >= 10
 
-    def test_both_stages_are_covered(self):
+    def test_all_stages_are_covered(self):
         stages = {point.stage for point in FAULT_POINTS.values()}
-        assert stages == {"pre-validate", "post-plan"}
+        assert stages == {"pre-validate", "post-plan", "stm-commit"}
 
     def test_every_point_is_documented(self):
         for point in FAULT_POINTS.values():

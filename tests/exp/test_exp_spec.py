@@ -93,3 +93,41 @@ class TestPointKey:
             config=MachineConfig().with_cores(4),
         )
         assert point_key(implicit) == point_key(explicit)
+
+
+class TestRetryBudget:
+    """The HyTM sweep knob must be cache-key material."""
+
+    def test_budget_changes_the_point_key(self):
+        from repro.exp.spec import point_key
+
+        base = Point(workload="kmeans", system="hybrid-retcon")
+        swept = Point(
+            workload="kmeans", system="hybrid-retcon", retry_budget=2
+        )
+        assert point_key(base) != point_key(swept)
+        assert point_key(swept) != point_key(
+            Point(
+                workload="kmeans", system="hybrid-retcon",
+                retry_budget=3,
+            )
+        )
+
+    def test_none_budget_matches_config_default(self):
+        from repro.exp.spec import point_key
+        from repro.sim.config import MachineConfig
+
+        default = MachineConfig().retry_budget
+        implicit = Point(workload="kmeans", system="hybrid-retcon")
+        explicit = Point(
+            workload="kmeans", system="hybrid-retcon",
+            retry_budget=default,
+        )
+        assert point_key(implicit) == point_key(explicit)
+
+    def test_budget_folds_into_resolved_config_and_label(self):
+        point = Point(
+            workload="kmeans", system="hybrid-retcon", retry_budget=0
+        )
+        assert point.resolved_config().retry_budget == 0
+        assert "rb=0" in point.label()

@@ -1,7 +1,7 @@
 """ForwardingMixin internals: edges, cycles, cooldown hysteresis."""
 
 from repro.coherence.directory import CoherenceFabric
-from repro.htm.hybrid import RetconForwardingSystem
+from repro.htm.forwarding_hybrid import RetconForwardingSystem
 from repro.mem.memory import MainMemory
 from repro.sim.config import small_test_config
 from repro.sim.stats import MachineStats

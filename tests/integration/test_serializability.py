@@ -22,7 +22,8 @@ from repro.sim.machine import Machine
 from repro.sim.script import ThreadScript
 
 SYSTEMS = ("eager", "eager-abort", "eager-stall", "lazy", "lazy-vb",
-           "datm", "retcon", "retcon-fwd")
+           "datm", "retcon", "retcon-fwd", "stm", "hybrid-retcon",
+           "hybrid-eager", "hybrid-lazy-vb", "progressive")
 COUNTERS = [4096 + 64 * i for i in range(3)]
 
 
