@@ -357,6 +357,126 @@ def figure_hybrid(
     return out
 
 
+# ---------------------------------------------------------------------------
+# Capacity frontier: throughput vs. speculative-set size
+# ---------------------------------------------------------------------------
+CAPACITY_WORKLOADS = ("python_opt", "genome-sz", "kmeans")
+CAPACITY_STEPS: tuple[int | str, ...] = (1, 2, 4, 8, "unlimited")
+CAPACITY_BACKENDS = ("eager", "retcon", "hybrid-retcon")
+
+
+def figure_capacity(
+    ncores: int = 32,
+    seed: int = 1,
+    scale: float = 1.0,
+    workloads: Sequence[str] = CAPACITY_WORKLOADS,
+    steps: Sequence[int | str] = CAPACITY_STEPS,
+    backends: Sequence[str] = CAPACITY_BACKENDS,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    refresh: bool = False,
+    progress: ProgressFn | None = None,
+) -> dict[str, dict[str, dict[str, dict[str, float]]]]:
+    """The capacity frontier (after Kafousis's limited-set HTM study):
+    throughput vs. speculative read/write-set size, per backend.
+
+    Each backend runs with ``read_set_entries = write_set_entries =
+    step`` for every step; the pure software endpoint (``stm``) runs
+    once per workload since its sets live in software and no bound
+    applies.  Where RETCON's curve flattens before the eager
+    baseline's is where repair substitutes for buffer area; where the
+    hybrid overtakes both is where escalation beats bigger buffers.
+
+    Returns ``{workload: {backend: {step: {metric: value}}}}`` with
+    step keys ``"1"``, ``"2"``, ... , ``"unlimited"``.
+    """
+    from repro.exp.engine import run_points
+    from repro.exp.spec import Point
+
+    columns: list[tuple[str, str, str, Point]] = []
+    for name in workloads:
+        for backend in backends:
+            for step in steps:
+                bound = None if step == "unlimited" else step
+                columns.append(
+                    (
+                        name,
+                        backend,
+                        str(step),
+                        Point(
+                            name, backend, ncores, seed, scale,
+                            read_set_entries=(
+                                "unlimited" if bound is None else bound
+                            ),
+                            write_set_entries=(
+                                "unlimited" if bound is None else bound
+                            ),
+                        ),
+                    )
+                )
+        columns.append(
+            (name, "stm", "unlimited",
+             Point(name, "stm", ncores, seed, scale))
+        )
+    results = run_points(
+        [point for _n, _b, _s, point in columns],
+        jobs=jobs, cache=cache, refresh=refresh, progress=progress,
+    )
+    out: dict[str, dict[str, dict[str, dict[str, float]]]] = {}
+    for name, backend, step, point in columns:
+        result = results[point]
+        out.setdefault(name, {}).setdefault(backend, {})[step] = {
+            "speedup": result.speedup,
+            "capacity_aborts": result.aborts_by_reason.get(
+                "capacity", 0
+            ),
+            "aborts": result.aborts,
+            "fallback_rate": result.stm.get("fallback_rate", 0.0),
+            "cycles": result.cycles,
+        }
+    return out
+
+
+def format_capacity_frontier(
+    data: Mapping[str, Mapping[str, Mapping[str, Mapping[str, float]]]],
+) -> str:
+    """Render :func:`figure_capacity` output as markdown tables."""
+    lines: list[str] = []
+    for name, backends in data.items():
+        steps: list[str] = []
+        for rows in backends.values():
+            for step in rows:
+                if step not in steps:
+                    steps.append(step)
+        lines.append(f"### {name}")
+        lines.append("")
+        lines.append(
+            "| backend | "
+            + " | ".join(f"sets={step}" for step in steps)
+            + " |"
+        )
+        lines.append("|---" * (len(steps) + 1) + "|")
+        for backend, rows in backends.items():
+            cells = []
+            for step in steps:
+                row = rows.get(step)
+                if row is None:
+                    cells.append("—")
+                    continue
+                cell = f"{row['speedup']:.2f}x"
+                cap = int(row["capacity_aborts"])
+                if cap:
+                    cell += f" ({cap} cap)"
+                if row["fallback_rate"]:
+                    cell += f" [{row['fallback_rate'] * 100:.0f}% stm]"
+                cells.append(cell)
+            lines.append(
+                f"| {backend} | " + " | ".join(cells) + " |"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
 def format_hybrid_tradeoff(
     data: Mapping[str, Mapping[str, Mapping[str, float]]],
 ) -> str:

@@ -18,7 +18,7 @@ from typing import Sequence
 
 from repro.exp.cache import ResultCache
 from repro.exp.engine import ProgressFn, run_points
-from repro.exp.spec import Point
+from repro.exp.spec import Capacity, Point
 from repro.sim.config import MachineConfig
 
 DEFAULT_CORE_COUNTS = (1, 2, 4, 8, 16, 32)
@@ -47,6 +47,11 @@ def sweep_matrix(
     progress: ProgressFn | None = None,
     check: bool = False,
     retry_budget: int | None = None,
+    read_set_entries: Capacity = None,
+    write_set_entries: Capacity = None,
+    ivb_entries: Capacity = None,
+    constraint_entries: Capacity = None,
+    ssb_entries: Capacity = None,
 ) -> dict[str, list[SweepPoint]]:
     """Run *workload* on every (system, core count) pair.
 
@@ -65,6 +70,11 @@ def sweep_matrix(
             config=config,
             check=check,
             retry_budget=retry_budget,
+            read_set_entries=read_set_entries,
+            write_set_entries=write_set_entries,
+            ivb_entries=ivb_entries,
+            constraint_entries=constraint_entries,
+            ssb_entries=ssb_entries,
         )
         for ncores in core_counts
         for system in systems

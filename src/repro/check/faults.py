@@ -117,6 +117,24 @@ def _ssb_size_truncate(engine, _plan, rng) -> bool:
     return True
 
 
+def _capacity_overflow(engine, _plan, _rng) -> bool:
+    """Model a buggy capacity-eviction path: silently evict the
+    lowest-addressed SSB entry instead of aborting the transaction.
+
+    A correct capacity overflow aborts (or serializes) the offender;
+    an eviction that pretends the store never happened is exactly the
+    kind of bookkeeping bug the bounded-buffer code could introduce,
+    and the oracle must see the lost store at commit.  Requires two
+    entries so the commit still drains something.
+    """
+    entries = engine.ssb.entries()
+    if len(entries) < 2:
+        return False
+    victim = min(entries, key=lambda entry: entry.addr)
+    engine.ssb.remove(victim.addr)
+    return True
+
+
 def _sreg_delta_skew(engine, _plan, rng) -> bool:
     """Skew a symbolic register's delta by +1 (wrong repair value)."""
     symbolic = engine.sregs.symbolic_regs()
@@ -256,6 +274,11 @@ FAULT_POINTS: dict[str, FaultPoint] = {
             "ssb-size-truncate", PRE_VALIDATE,
             "one buffered store's width halved",
             _ssb_size_truncate,
+        ),
+        FaultPoint(
+            "capacity-overflow", PRE_VALIDATE,
+            "bounded SSB silently evicts its lowest-addressed entry",
+            _capacity_overflow,
         ),
         FaultPoint(
             "sreg-delta-skew", PRE_VALIDATE,

@@ -74,6 +74,53 @@ def _engine_opts(args) -> dict:
     )
 
 
+def _capacity(value: str):
+    """Parse a capacity flag: an entry count or 'unlimited'."""
+    if value == "unlimited":
+        return value
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an entry count or 'unlimited', got {value!r}"
+        )
+    if n < 1:
+        raise argparse.ArgumentTypeError(
+            f"capacity must be >= 1 (use 'unlimited' to unbound): {n}"
+        )
+    return n
+
+
+#: (flag, Point field) pairs for the per-structure capacity knobs
+_CAPACITY_ARGS = (
+    ("--read-set", "read_set_entries", "speculative read-set blocks"),
+    ("--write-set", "write_set_entries", "speculative write-set blocks"),
+    ("--ivb", "ivb_entries", "initial value buffer entries"),
+    ("--constraint-buffer", "constraint_entries",
+     "constraint buffer entries"),
+    ("--ssb", "ssb_entries", "symbolic store buffer entries"),
+)
+
+
+def _add_capacity_args(parser: argparse.ArgumentParser) -> None:
+    for flag, dest, what in _CAPACITY_ARGS:
+        parser.add_argument(
+            flag, dest=dest, type=_capacity, default=None,
+            metavar="N|unlimited",
+            help=f"bound the {what} (default: the machine config's "
+                 "value)",
+        )
+
+
+def _capacity_overrides(args) -> dict:
+    """Point/sweep keyword overrides from the capacity flags."""
+    return {
+        dest: value
+        for _flag, dest, _what in _CAPACITY_ARGS
+        if (value := getattr(args, dest, None)) is not None
+    }
+
+
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cores", type=int, default=32)
     parser.add_argument("--scale", type=float, default=1.0)
@@ -83,6 +130,7 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
         help="HTM attempts before a hybrid backend escalates to STM "
              "(default: the machine config's value)",
     )
+    _add_capacity_args(parser)
     _add_engine_args(parser)
 
 
@@ -152,6 +200,7 @@ def _cmd_run(args) -> int:
         scale=args.scale,
         check=args.check,
         retry_budget=args.retry_budget,
+        **_capacity_overrides(args),
     )
     result = run_points([point], **_engine_opts(args))[point]
     _print_result(result)
@@ -178,6 +227,7 @@ def _run_traced(args) -> int:
         scale=args.scale,
         check=args.check,
         retry_budget=args.retry_budget,
+        **_capacity_overrides(args),
     )
     result, events, _metrics = run_point_with_trace(
         point,
@@ -228,6 +278,7 @@ def _trace_source(args):
         seed=args.seed,
         scale=args.scale,
         retry_budget=getattr(args, "retry_budget", None),
+        **_capacity_overrides(args),
     )
     _result, events, metrics = run_point_with_trace(
         point,
@@ -268,7 +319,11 @@ def _cmd_trace(args) -> int:
 def _cmd_timeline(args) -> int:
     """``repro timeline``: ASCII timeline + contention/abort views."""
     from repro.analysis.timeline import render_timeline
-    from repro.obs.views import abort_breakdown, contention_heatmap
+    from repro.obs.views import (
+        abort_breakdown,
+        capacity_breakdown,
+        contention_heatmap,
+    )
 
     label, events, _metrics = _trace_source(args)
     ncores = 2 if args.workload == "figure2" else args.cores
@@ -278,6 +333,8 @@ def _cmd_timeline(args) -> int:
     print(contention_heatmap(events))
     print(f"\nabort attribution ({label}):")
     print(abort_breakdown(events))
+    print(f"\ncapacity aborts by structure ({label}):")
+    print(capacity_breakdown(events))
     return 0
 
 
@@ -400,6 +457,15 @@ def _cmd_fuzz(args) -> int:
             tuple(args.backends) + tuple(args.extra_backends or ())
         )
     )
+    config = None
+    capacity = _capacity_overrides(args)
+    if capacity:
+        from repro.sim.config import MachineConfig
+
+        config = MachineConfig(**{
+            name: (None if value == "unlimited" else value)
+            for name, value in capacity.items()
+        })
     common = dict(
         profiles=tuple(args.profiles),
         backends=backends,
@@ -410,6 +476,7 @@ def _cmd_fuzz(args) -> int:
         shrink=not args.no_shrink,
         emit=not args.no_emit,
         fault=args.fault,
+        config=config,
         corpus_root=Path(args.corpus),
     )
     if args.smoke:
@@ -471,11 +538,14 @@ def _cmd_figure(args) -> int:
     )
     if args.number == "hybrid":
         return _figure_hybrid(args, params)
+    if args.number == "capacity":
+        return _figure_capacity(args, params)
     try:
         number = int(args.number)
     except ValueError:
         print(f"no such figure: {args.number} "
-              "(have 1, 2, 3, 4, 9, 10, hybrid)", file=sys.stderr)
+              "(have 1, 2, 3, 4, 9, 10, hybrid, capacity)",
+              file=sys.stderr)
         return 2
     if number == 1:
         print(bar_chart(fig.figure1(**params), max_value=args.cores,
@@ -516,7 +586,8 @@ def _cmd_figure(args) -> int:
         ))
     else:
         print(f"no such figure: {number} "
-              "(have 1, 2, 3, 4, 9, 10, hybrid)", file=sys.stderr)
+              "(have 1, 2, 3, 4, 9, 10, hybrid, capacity)",
+              file=sys.stderr)
         return 2
     return 0
 
@@ -545,6 +616,40 @@ def _figure_hybrid(args, params) -> int:
             f"{args.cores} cores, scale {args.scale}, seed "
             f"{args.seed}.  Regenerate with:\n\n"
             "    python -m repro figure hybrid --cores "
+            f"{args.cores} --scale {args.scale} -o {args.output}\n\n"
+        )
+        path.write_text(header + text + "\n", encoding="utf-8")
+        print(f"wrote {path}")
+    else:
+        print(text)
+    return 0
+
+
+def _figure_capacity(args, params) -> int:
+    """``repro figure capacity``: the capacity-frontier table.
+
+    Sweeps the speculative read/write-set bound across the smoke
+    workloads on representative backends, bracketed by the unlimited
+    endpoint and pure STM, and renders markdown (``-o`` writes the
+    committed ``docs/capacity_frontier.md``).
+    """
+    from pathlib import Path
+
+    data = fig.figure_capacity(**params)
+    text = fig.format_capacity_frontier(data)
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        steps = ", ".join(str(s) for s in fig.CAPACITY_STEPS)
+        header = (
+            "# Capacity frontier: speedup vs. speculative set size\n\n"
+            "Read- and write-set bounds swept together over "
+            f"{steps} blocks on "
+            f"{', '.join(fig.CAPACITY_BACKENDS)} (plus the pure-STM "
+            f"endpoint, which tracks sets in software) at "
+            f"{args.cores} cores, scale {args.scale}, seed "
+            f"{args.seed}.  Regenerate with:\n\n"
+            "    python -m repro figure capacity --cores "
             f"{args.cores} --scale {args.scale} -o {args.output}\n\n"
         )
         path.write_text(header + text + "\n", encoding="utf-8")
@@ -613,6 +718,7 @@ def _cmd_sweep(args) -> int:
         scale=args.scale,
         check=args.check,
         retry_budget=args.retry_budget,
+        **_capacity_overrides(args),
         **_engine_opts(args),
     )
     print(format_sweep(args.workload, curves))
@@ -646,7 +752,8 @@ def _run_smoke(args) -> int:
         spec = smoke_spec()
     points = [
         _replace(
-            point, check=args.check, retry_budget=args.retry_budget
+            point, check=args.check, retry_budget=args.retry_budget,
+            **_capacity_overrides(args),
         )
         for point in spec.points()
     ]
@@ -804,13 +911,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     figure = sub.add_parser(
         "figure",
-        help="regenerate a paper figure (1/2/3/4/9/10) or the "
-             "'hybrid' HyTM tradeoff table",
+        help="regenerate a paper figure (1/2/3/4/9/10), the 'hybrid' "
+             "HyTM tradeoff table, or the 'capacity' frontier table",
     )
     figure.add_argument("number")
     figure.add_argument(
         "-o", "--output", default=None, metavar="PATH",
-        help="write the 'hybrid' tradeoff markdown here instead of "
+        help="write the 'hybrid'/'capacity' markdown here instead of "
              "stdout",
     )
     figure.add_argument(
@@ -863,6 +970,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="attach the repair oracle + golden differ to every point",
     )
+    _add_capacity_args(sweep)
     _add_engine_args(sweep)
 
     profile = sub.add_parser(
@@ -954,6 +1062,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--corpus", default=".repro-fuzz",
         help="corpus directory (default .repro-fuzz)",
     )
+    _add_capacity_args(fuzz)
     _add_engine_args(fuzz)
 
     trace = sub.add_parser(

@@ -24,6 +24,14 @@ from repro.isa.registers import NUM_REGS
 from repro.mem.address import BLOCK_SIZE, WORD_SIZE, block_base
 from repro.core.symvalue import SymValue
 
+#: Paper Table 1 capacities — the single source of truth for the
+#: default sizes of the bounded RETCON structures.
+#: :class:`repro.sim.config.MachineConfig` imports these, so a
+#: directly-constructed buffer and a config-built one can never
+#: disagree on the default bound.
+DEFAULT_IVB_ENTRIES = 16
+DEFAULT_SSB_ENTRIES = 32
+
 
 @dataclass(slots=True)
 class IVBEntry:
@@ -68,31 +76,37 @@ class IVBEntry:
 class InitialValueBuffer:
     """Block-granularity buffer of initial values (16 entries by default)."""
 
-    def __init__(self, capacity: Optional[int] = 16) -> None:
+    def __init__(
+        self, capacity: Optional[int] = DEFAULT_IVB_ENTRIES
+    ) -> None:
         self.capacity = capacity
-        self._entries: dict[int, IVBEntry] = {}
+        #: public read-only view for fast-path probes (``get``/``in``
+        #: without a Python call); mutate only through
+        #: :meth:`allocate` / :meth:`clear` so capacity accounting
+        #: cannot be skipped
+        self.entries_by_block: dict[int, IVBEntry] = {}
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self.entries_by_block)
 
     def __contains__(self, block: int) -> bool:
-        return block in self._entries
+        return block in self.entries_by_block
 
     def get(self, block: int) -> Optional[IVBEntry]:
-        return self._entries.get(block)
+        return self.entries_by_block.get(block)
 
     def entries(self) -> Iterator[IVBEntry]:
-        return iter(self._entries.values())
+        return iter(self.entries_by_block.values())
 
     def is_full(self) -> bool:
         return (
             self.capacity is not None
-            and len(self._entries) >= self.capacity
+            and len(self.entries_by_block) >= self.capacity
         )
 
     def allocate(self, block: int, initial_bytes: bytes) -> Optional[IVBEntry]:
         """Start tracking *block*; return None if the buffer is full."""
-        existing = self._entries.get(block)
+        existing = self.entries_by_block.get(block)
         if existing is not None:
             return existing
         if self.is_full():
@@ -100,14 +114,14 @@ class InitialValueBuffer:
         if len(initial_bytes) != BLOCK_SIZE:
             raise ValueError("IVB entries are captured at block granularity")
         entry = IVBEntry(block=block, initial_bytes=bytes(initial_bytes))
-        self._entries[block] = entry
+        self.entries_by_block[block] = entry
         return entry
 
     def lost_blocks(self) -> list[int]:
-        return [e.block for e in self._entries.values() if e.lost]
+        return [e.block for e in self.entries_by_block.values() if e.lost]
 
     def clear(self) -> None:
-        self._entries.clear()
+        self.entries_by_block.clear()
 
 
 @dataclass(slots=True)
@@ -141,9 +155,14 @@ class SymbolicStoreBufferFull(Exception):
 class SymbolicStoreBuffer:
     """Unordered store buffer indexed by data address (32 entries)."""
 
-    def __init__(self, capacity: Optional[int] = 32) -> None:
+    def __init__(
+        self, capacity: Optional[int] = DEFAULT_SSB_ENTRIES
+    ) -> None:
         self.capacity = capacity
-        self._entries: dict[int, SSBEntry] = {}
+        #: public read-only view for fast-path probes; mutate only
+        #: through :meth:`put` / :meth:`remove` / :meth:`clear` so the
+        #: region index and capacity accounting stay consistent
+        self.entries_by_addr: dict[int, SSBEntry] = {}
         # Entry start addresses per 64-byte region.  Entries are at
         # most 8 bytes, so any entry overlapping [addr, addr+size)
         # starts within [addr-7, addr+size) — a window spanning at
@@ -154,14 +173,14 @@ class SymbolicStoreBuffer:
         self.peak = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self.entries_by_addr)
 
     def entries(self) -> list[SSBEntry]:
-        return list(self._entries.values())
+        return list(self.entries_by_addr.values())
 
     def lookup(self, addr: int, size: int) -> Optional[SSBEntry]:
         """Return the entry exactly matching (addr, size), if any."""
-        entry = self._entries.get(addr)
+        entry = self.entries_by_addr.get(addr)
         if entry is not None and entry.size == size:
             return entry
         return None
@@ -172,7 +191,7 @@ class SymbolicStoreBuffer:
         Allocation-free form of ``bool(overlapping(addr, size))`` for
         the per-load probe that runs on every untracked access.
         """
-        entries = self._entries
+        entries = self.entries_by_addr
         if not entries:
             return False
         starts = self._region_starts
@@ -194,7 +213,7 @@ class SymbolicStoreBuffer:
 
     def overlapping(self, addr: int, size: int) -> list[SSBEntry]:
         """Return every entry overlapping [addr, addr+size)."""
-        entries = self._entries
+        entries = self.entries_by_addr
         if not entries:
             return []
         starts = self._region_starts
@@ -232,11 +251,11 @@ class SymbolicStoreBuffer:
         address match replaces, and capacity is enforced for new
         entries.
         """
-        existing = self._entries.get(addr)
+        existing = self.entries_by_addr.get(addr)
         if existing is None:
             if (
                 self.capacity is not None
-                and len(self._entries) >= self.capacity
+                and len(self.entries_by_addr) >= self.capacity
             ):
                 raise SymbolicStoreBufferFull(addr)
             region = addr >> 6
@@ -247,14 +266,14 @@ class SymbolicStoreBuffer:
             else:
                 members.add(addr)
         entry = SSBEntry(addr=addr, size=size, value=value, sym=sym)
-        self._entries[addr] = entry
-        n = len(self._entries)
+        self.entries_by_addr[addr] = entry
+        n = len(self.entries_by_addr)
         if n > self.peak:
             self.peak = n
         return entry
 
     def remove(self, addr: int) -> Optional[SSBEntry]:
-        entry = self._entries.pop(addr, None)
+        entry = self.entries_by_addr.pop(addr, None)
         if entry is not None:
             region = addr >> 6
             members = self._region_starts[region]
@@ -264,7 +283,7 @@ class SymbolicStoreBuffer:
         return entry
 
     def clear(self) -> None:
-        self._entries.clear()
+        self.entries_by_addr.clear()
         self._region_starts.clear()
         self.peak = 0
 

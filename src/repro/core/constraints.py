@@ -129,6 +129,12 @@ class Constraint:
         return self.interval.contains(value)
 
 
+#: Paper Table 1 capacity — single source of truth for the default
+#: constraint-buffer bound; :class:`repro.sim.config.MachineConfig`
+#: imports it so config-built and directly-constructed buffers agree.
+DEFAULT_CONSTRAINT_ENTRIES = 16
+
+
 class ConstraintBufferFull(Exception):
     """Raised when a new root cannot be admitted to the buffer."""
 
@@ -144,7 +150,9 @@ class ConstraintBuffer:
     constraints").
     """
 
-    def __init__(self, capacity: Optional[int] = 16) -> None:
+    def __init__(
+        self, capacity: Optional[int] = DEFAULT_CONSTRAINT_ENTRIES
+    ) -> None:
         self.capacity = capacity
         self._by_root: dict[Root, Constraint] = {}
 

@@ -31,10 +31,13 @@ from repro.core.buffers import (
     SymbolicRegisterFile,
     SymbolicStoreBuffer,
     SymbolicStoreBufferFull,
+    DEFAULT_IVB_ENTRIES,
+    DEFAULT_SSB_ENTRIES,
 )
 from repro.core.constraints import (
     ConstraintBuffer,
     ConstraintBufferFull,
+    DEFAULT_CONSTRAINT_ENTRIES,
     constraint_from_branch,
 )
 from repro.core.predictor import ConflictPredictor
@@ -44,7 +47,22 @@ from repro.mem.address import block_base, block_of
 
 
 class CapacityAbort(Exception):
-    """The transaction exceeded a bounded RETCON structure (SSB)."""
+    """The transaction exceeded a bounded RETCON structure (SSB).
+
+    Carries the overflowing *structure* name and, when known, the
+    *addr* whose admission failed, so the TM layer can attribute the
+    abort (``structure × workload × backend``) in the obs stream.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        structure: str = "ssb",
+        addr: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.structure = structure
+        self.addr = addr
 
 
 class ConstraintViolation(Exception):
@@ -107,9 +125,9 @@ class RetconEngine:
 
     def __init__(
         self,
-        ivb_capacity: Optional[int] = 16,
-        constraint_capacity: Optional[int] = 16,
-        ssb_capacity: Optional[int] = 32,
+        ivb_capacity: Optional[int] = DEFAULT_IVB_ENTRIES,
+        constraint_capacity: Optional[int] = DEFAULT_CONSTRAINT_ENTRIES,
+        ssb_capacity: Optional[int] = DEFAULT_SSB_ENTRIES,
         symbolic_arithmetic: bool = True,
         predictor: Optional[ConflictPredictor] = None,
     ) -> None:
@@ -294,7 +312,10 @@ class RetconEngine:
             try:
                 self.ssb.put(addr, size, value, sym)
             except SymbolicStoreBufferFull as exc:
-                raise CapacityAbort("symbolic store buffer full") from exc
+                raise CapacityAbort(
+                    "symbolic store buffer full", structure="ssb",
+                    addr=addr,
+                ) from exc
             return
 
         # Partial overlap: merge into non-overlapping concrete entries.
@@ -322,7 +343,9 @@ class RetconEngine:
                     None,
                 )
         except SymbolicStoreBufferFull as exc:
-            raise CapacityAbort("symbolic store buffer full") from exc
+            raise CapacityAbort(
+                "symbolic store buffer full", structure="ssb", addr=addr,
+            ) from exc
 
     def invalidate_ssb(self, addr: int, size: int) -> list[SSBEntry]:
         """A normal (eager) store overwrote [addr, addr+size).

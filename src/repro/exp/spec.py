@@ -16,9 +16,32 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, replace
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Union
 
 from repro.sim.config import MachineConfig
+
+#: capacity knobs a Point/ExperimentSpec can override on its config;
+#: each is None (keep the config), an int bound, or the string
+#: "unlimited" (capacity=None — distinct from "keep", which None means)
+CAPACITY_FIELDS = (
+    "read_set_entries",
+    "write_set_entries",
+    "ivb_entries",
+    "constraint_entries",
+    "ssb_entries",
+)
+
+#: short names for labels: read_set_entries=8 renders as "rs=8"
+_CAPACITY_SHORT = {
+    "read_set_entries": "rs",
+    "write_set_entries": "ws",
+    "ivb_entries": "ivb",
+    "constraint_entries": "cb",
+    "ssb_entries": "ssb",
+}
+
+#: type of a capacity override: int bound, "unlimited", or None (keep)
+Capacity = Optional[Union[int, str]]
 
 
 @dataclass(frozen=True)
@@ -47,12 +70,30 @@ class Point:
     #: keeps the config's value.  Folded into resolved_config (and
     #: hence the cache key) so retry-budget sweeps are distinct points.
     retry_budget: Optional[int] = None
+    #: per-structure capacity overrides (see CAPACITY_FIELDS): None
+    #: keeps the config's value, an int bounds the structure, and the
+    #: string "unlimited" removes the bound.  Folded into
+    #: resolved_config, hence cache-key fields.
+    read_set_entries: Capacity = None
+    write_set_entries: Capacity = None
+    ivb_entries: Capacity = None
+    constraint_entries: Capacity = None
+    ssb_entries: Capacity = None
 
     def resolved_config(self) -> MachineConfig:
         """The machine configuration this point actually runs with."""
         config = (self.config or MachineConfig()).with_cores(self.ncores)
         if self.retry_budget is not None:
             config = replace(config, retry_budget=self.retry_budget)
+        overrides = {}
+        for name in CAPACITY_FIELDS:
+            value = getattr(self, name)
+            if value is not None:
+                overrides[name] = (
+                    None if value == "unlimited" else value
+                )
+        if overrides:
+            config = replace(config, **overrides)
         return config
 
     def baseline_key(self) -> tuple:
@@ -94,6 +135,10 @@ class Point:
             extras += f" +{self.obs}"
         if self.retry_budget is not None:
             extras += f" rb={self.retry_budget}"
+        for name in CAPACITY_FIELDS:
+            value = getattr(self, name)
+            if value is not None:
+                extras += f" {_CAPACITY_SHORT[name]}={value}"
         return (
             f"{self.workload}/{self.system} ncores={self.ncores} "
             f"seed={self.seed} scale={self.scale}{extras}"
@@ -142,6 +187,12 @@ class ExperimentSpec:
     #: hybrid retry budget propagated to every point (see
     #: Point.retry_budget)
     retry_budget: Optional[int] = None
+    #: capacity overrides propagated to every point (see Point)
+    read_set_entries: Capacity = None
+    write_set_entries: Capacity = None
+    ivb_entries: Capacity = None
+    constraint_entries: Capacity = None
+    ssb_entries: Capacity = None
 
     def __post_init__(self) -> None:
         # Tolerate lists/generators from callers; store tuples so the
@@ -165,6 +216,11 @@ class ExperimentSpec:
                 tag=self.tag,
                 obs=self.obs,
                 retry_budget=self.retry_budget,
+                read_set_entries=self.read_set_entries,
+                write_set_entries=self.write_set_entries,
+                ivb_entries=self.ivb_entries,
+                constraint_entries=self.constraint_entries,
+                ssb_entries=self.ssb_entries,
             )
             for workload in self.workloads
             for ncores in self.core_counts

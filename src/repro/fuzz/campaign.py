@@ -43,6 +43,7 @@ from repro.fuzz.shrink import (
     emit_regression,
     shrink_case,
 )
+from repro.sim.config import MachineConfig
 
 #: seeds per profile in one --smoke run: 3 profiles x 70 = 210
 #: programs (the ISSUE acceptance floor is 200 across >= 3 backends)
@@ -70,6 +71,10 @@ class CampaignOptions:
     #: inject a check/faults.py fault (shrinker exercise; expect red)
     fault: Optional[str] = None
     fault_seed: int = 0
+    #: machine-config override (e.g. bounded speculative-set
+    #: capacities); non-None campaigns skip the corpus, whose clean
+    #: verdicts are keyed by generator config only
+    config: Optional[MachineConfig] = None
     corpus_root: Path = Path(".repro-fuzz")
     regression_dir: Path = REGRESSION_DIR
     quiet: bool = False
@@ -136,6 +141,7 @@ def _engine_phase(
             core_counts=(opts.nthreads,),
             seeds=tuple(seeds),
             scale=1.0,
+            config=opts.config,
             check=True,
             tag=config_hash(FUZZ_PROFILES[profile]),
         )
@@ -173,7 +179,11 @@ def _deep_phase(
     for profile, seeds in batches.items():
         config = FUZZ_PROFILES[profile]
         for seed in seeds:
-            if opts.fault is None and corpus.is_clean(
+            # Corpus clean verdicts are keyed by the generator config
+            # only, so campaigns with a machine-config override (like
+            # fault exercises) neither trust nor record them.
+            plain = opts.fault is None and opts.config is None
+            if plain and corpus.is_clean(
                 config, seed, opts.backends, opts.nthreads
             ):
                 report.skipped_clean += 1
@@ -186,9 +196,10 @@ def _deep_phase(
                 backends=opts.backends,
                 fault=opts.fault,
                 fault_seed=opts.fault_seed,
+                config=opts.config,
             )
             report.programs += 1
-            if opts.fault is None:
+            if plain:
                 corpus.record(
                     config,
                     seed,
@@ -223,6 +234,7 @@ def _handle_shrink(
         backends=opts.backends,
         fault=opts.fault,
         fault_seed=opts.fault_seed,
+        config=opts.config,
     )
     result = shrink_case(case, predicate)
     if result is None:  # did not reproduce under the predicate
@@ -235,6 +247,7 @@ def _handle_shrink(
             backends=opts.backends,
             fault=opts.fault,
             fault_seed=opts.fault_seed,
+            config=opts.config,
         )
         path = emit_regression(
             result.case,
@@ -286,9 +299,13 @@ def run_campaign(opts: CampaignOptions) -> CampaignReport:
             )
         _deep_phase(opts, corpus, batches, report)
         corpus.flush()
-        if opts.seed_start is not None or opts.fault is not None:
-            # fixed ranges (and fault exercises, which skip the
-            # corpus) don't advance; one pass only
+        if (
+            opts.seed_start is not None
+            or opts.fault is not None
+            or opts.config is not None
+        ):
+            # fixed ranges (and fault/config exercises, which skip
+            # the corpus) don't advance; one pass only
             break
         first = False
         if deadline is None:

@@ -187,6 +187,7 @@ def divergence_predicate(
     fault: Optional[str] = None,
     fault_seed: int = 0,
     kinds: Optional[set] = None,
+    config=None,
 ) -> Callable[[FuzzCase], bool]:
     """The standard failure predicate: any divergence (optionally
     restricted to *kinds*) when run on *backends*."""
@@ -197,6 +198,7 @@ def divergence_predicate(
             backends=backends,
             fault=fault,
             fault_seed=fault_seed,
+            config=config,
         )
         if kinds is None:
             return not outcome.ok

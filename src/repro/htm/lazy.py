@@ -37,22 +37,47 @@ class LazyTMSystem(BaseTMSystem):
         self._write_buffers: list[dict[int, tuple[int, int]]] = [
             {} for _ in range(config.ncores)
         ]
+        #: write-set blocks, maintained only under a write-set bound
+        #: (the write buffer is addr-keyed, so block counting would
+        #: otherwise cost a scan per store)
+        self._write_blocks: list[set[int]] = [
+            set() for _ in range(config.ncores)
+        ]
 
     # ------------------------------------------------------------------
     def begin(self, core: int, restart: bool = False) -> None:
         super().begin(core, restart)
         self._read_sets[core].clear()
         self._write_buffers[core].clear()
+        self._write_blocks[core].clear()
 
+    # The clears run in ``finally`` so the base class observes set
+    # occupancy (and _abort_self raises TxnAborted) while the sets are
+    # still populated.
     def _doom(self, core: int, reason: str) -> None:
-        self._read_sets[core].clear()
-        self._write_buffers[core].clear()
-        super()._doom(core, reason)
+        try:
+            super()._doom(core, reason)
+        finally:
+            self._read_sets[core].clear()
+            self._write_buffers[core].clear()
+            self._write_blocks[core].clear()
 
     def _abort_self(self, core: int, reason: str) -> None:
-        self._read_sets[core].clear()
-        self._write_buffers[core].clear()
-        super()._abort_self(core, reason)
+        try:
+            super()._abort_self(core, reason)
+        finally:
+            self._read_sets[core].clear()
+            self._write_buffers[core].clear()
+            self._write_blocks[core].clear()
+
+    def _observe_occupancy(self, core: int) -> None:
+        self._h_read_set.observe(len(self._read_sets[core]))
+        buffer = self._write_buffers[core]
+        self._h_write_set.observe(len({
+            block
+            for addr, (size, _value) in buffer.items()
+            for block in blocks_spanned(addr, size)
+        }))
 
     # ------------------------------------------------------------------
     def _compose(self, core: int, addr: int, size: int) -> int:
@@ -79,8 +104,15 @@ class LazyTMSystem(BaseTMSystem):
         if not ctx.active:
             return super().load(core, addr, size)
         latency = 0
+        read_set = self._read_sets[core]
         for block in blocks_spanned(addr, size):
-            self._read_sets[core].add(block)
+            read_set.add(block)
+            if (
+                self._rs_limit is not None
+                and not ctx.overflowed
+                and len(read_set) > self._rs_limit
+            ):
+                self._capacity_abort_structure(core, "read_set", block)
             outcome = self.fabric.acquire(core, block, write=False)
             latency += outcome.latency
         return LoadResult(
@@ -99,6 +131,14 @@ class LazyTMSystem(BaseTMSystem):
         if not ctx.active:
             return super().store(core, addr, size, value)
         self._write_buffers[core][addr] = (size, value)
+        if self._ws_limit is not None and not ctx.overflowed:
+            blocks = self._write_blocks[core]
+            for block in blocks_spanned(addr, size):
+                blocks.add(block)
+                if len(blocks) > self._ws_limit:
+                    self._capacity_abort_structure(
+                        core, "write_set", block
+                    )
         return _STORE_HIT
 
     # ------------------------------------------------------------------
@@ -127,6 +167,6 @@ class LazyTMSystem(BaseTMSystem):
             latency += outcome.latency
         for addr, (size, value) in buffer.items():
             self.memory.write(addr, value, size)
-        buffer.clear()
-        self._read_sets[core].clear()
+        # Sets are left intact so commit() can observe their occupancy;
+        # begin() clears them before the next transaction.
         return CommitResult(latency=latency)

@@ -62,6 +62,12 @@ class TxnContext:
     #: True once this HTM attempt has loaded the STM clock word
     #: (hybrid backends only; see repro.htm.hytm)
     subscribed: bool = False
+    #: sticky for the logical transaction: a speculative-set capacity
+    #: abort happened, so (on backends without an STM slow path) every
+    #: retry runs under OneTM overflow serialization — unbounded but
+    #: conservatively conflicting — instead of overflowing identically
+    #: forever.  Cleared on the next fresh begin.
+    cap_serialized: bool = False
 
 
 @dataclass(slots=True)
@@ -99,6 +105,11 @@ class BaseTMSystem:
     #: committed-state replay (speculative value forwarding); the
     #: Machine declines to attach a repair oracle to those.
     oracle_compatible = True
+    #: retry policy for speculative-set capacity aborts: True (pure
+    #: HTM) reruns the transaction under OneTM overflow serialization;
+    #: the STM mixin overrides with False because hybrids escalate the
+    #: retry to the software slow path instead.
+    capacity_serializes = True
 
     def __init__(
         self,
@@ -143,6 +154,18 @@ class BaseTMSystem:
         #: optional :class:`repro.check.faults.FaultInjector` (oracle
         #: self-tests corrupt pre-commit state through this)
         self.fault_injector = None
+        #: speculative read/write-set bounds (Kafousis-style limited
+        #: sets); None keeps the historical unbounded behavior and the
+        #: enforcement branch below one attribute check per first-touch
+        self._rs_limit = config.read_set_entries
+        self._ws_limit = config.write_set_entries
+        self._cap_limited = (
+            self._rs_limit is not None or self._ws_limit is not None
+        )
+        #: structure/block stashed by capacity aborts so the abort
+        #: event carries its attribution (consumed by _abort_self)
+        self._abort_structure: Optional[str] = None
+        self._abort_block: Optional[int] = None
 
     def _trace(self, kind: str, core: int, **detail) -> None:
         if self.tracer is not None:
@@ -168,6 +191,12 @@ class BaseTMSystem:
         self._m_steals = registry.counter("retcon.steals")
         self._m_repairs = registry.counter("retcon.repairs")
         self._m_forwards = registry.counter("fwd.forwards")
+        # Per-txn set-occupancy distributions, observed once per
+        # commit/abort boundary (Kafousis-style limited-set telemetry).
+        self._h_read_set = registry.histogram("txn.read_set_size")
+        self._h_write_set = registry.histogram("txn.write_set_size")
+        self._h_ivb = registry.histogram("txn.ivb_occupancy")
+        self._h_ssb = registry.histogram("txn.ssb_occupancy")
 
     # ------------------------------------------------------------------
     # Engine access (overridden by RETCON)
@@ -186,6 +215,7 @@ class BaseTMSystem:
             self._next_ts += 1
             ctx.ts = self._next_ts
             ctx.attempts = 1
+            ctx.cap_serialized = False
         else:
             ctx.attempts += 1
         ctx.active = True
@@ -194,6 +224,13 @@ class BaseTMSystem:
         ctx.stm = False
         ctx.subscribed = False
         ctx.block_mode.clear()
+        if ctx.cap_serialized and self.capacity_serializes:
+            # Retry of a speculative-set capacity abort: run it under
+            # OneTM overflow serialization (unbounded sets, but it
+            # conservatively conflicts with every in-flight txn), the
+            # same backing mechanism the permissions-only cache uses.
+            ctx.overflowed = True
+            self.fabric.overflowed.add(core)
         engine = self.engine(core)
         if engine is not None:
             engine.begin_txn()
@@ -332,6 +369,8 @@ class BaseTMSystem:
         ctx = self.ctx[core]
         if not ctx.active:
             return
+        if self.metrics is not None:
+            self._observe_occupancy(core)
         ctx.undo.rollback(self.memory)
         self.fabric.clear_spec(core)
         engine = self.engine(core)
@@ -356,6 +395,8 @@ class BaseTMSystem:
         # Record the reason even for self-aborts: hybrid backends read
         # it at restart to escalate capacity-aborted transactions.
         ctx.doom_reason = reason
+        if self.metrics is not None:
+            self._observe_occupancy(core)
         ctx.undo.rollback(self.memory)
         self.fabric.clear_spec(core)
         engine = self.engine(core)
@@ -367,14 +408,98 @@ class BaseTMSystem:
         self._clear_wait_edges(core)
         aborts = self.stats.core(core).aborts
         aborts[reason] = aborts.get(reason, 0) + 1
+        structure = self._abort_structure
         if self.metrics is not None:
             self.metrics.inc("txn.aborts", reason=reason)
-        if self._resolving_block is not None:
+            if structure is not None:
+                self.metrics.inc(
+                    "txn.capacity_aborts", structure=structure
+                )
+        block = (
+            self._abort_block
+            if self._abort_block is not None
+            else self._resolving_block
+        )
+        if structure is not None:
+            if block is not None:
+                self._trace("abort", core, reason=reason, by="self",
+                            structure=structure, block=block)
+            else:
+                self._trace("abort", core, reason=reason, by="self",
+                            structure=structure)
+        elif block is not None:
             self._trace("abort", core, reason=reason, by="self",
-                        block=self._resolving_block)
+                        block=block)
         else:
             self._trace("abort", core, reason=reason, by="self")
         raise TxnAborted(reason)
+
+    def _capacity_abort_structure(
+        self, core: int, structure: str, block: Optional[int] = None
+    ) -> None:
+        """Abort with ``reason="capacity"``, attributing *structure*.
+
+        Speculative-set overflow (``read_set``/``write_set``) marks
+        the logical transaction for OneTM overflow serialization on
+        its retries (see :meth:`begin`); hybrids ignore the mark and
+        escalate to STM via the recorded doom reason.  RETCON-buffer
+        overflows (``ssb``) keep their existing retry mechanism —
+        predictor retraining — and never serialize.
+        """
+        ctx = self.ctx[core]
+        if structure in ("read_set", "write_set"):
+            ctx.cap_serialized = True
+        self._abort_structure = structure
+        self._abort_block = block
+        try:
+            self._abort_self(core, reason="capacity")
+        finally:
+            self._abort_structure = None
+            self._abort_block = None
+
+    def _check_spec_capacity(
+        self, core: int, block: int, write: bool
+    ) -> None:
+        """Enforce the speculative-set bounds after a ``mark_spec``.
+
+        Only called when ``_cap_limited``; an overflowed (serialized)
+        attempt models the unbounded backing mechanism, so it is
+        exempt.  Raises TxnAborted via the capacity-abort path.
+        """
+        ctx = self.ctx[core]
+        if ctx.overflowed or not ctx.active:
+            return
+        caches = self.fabric.cores[core]
+        if write:
+            if (
+                self._ws_limit is not None
+                and len(caches.spec_written) > self._ws_limit
+            ):
+                self._capacity_abort_structure(core, "write_set", block)
+        elif (
+            self._rs_limit is not None
+            and len(caches.spec_read) > self._rs_limit
+        ):
+            self._capacity_abort_structure(core, "read_set", block)
+
+    def _observe_occupancy(self, core: int) -> None:
+        """Record per-txn set occupancy into the bound histograms.
+
+        Called at commit/abort boundaries only, before speculative
+        state is cleared; STM attempts are skipped here because their
+        occupancy is recorded from the drained
+        :class:`repro.core.engine.TxnStmSample` instead.
+        """
+        ctx = self.ctx[core]
+        if ctx.stm:
+            return
+        caches = self.fabric.cores[core]
+        self._h_read_set.observe(len(caches.spec_read))
+        self._h_write_set.observe(len(caches.spec_written))
+        engine = self.engine(core)
+        if engine is not None:
+            self._h_ivb.observe(len(engine.ivb))
+            self._h_ssb.observe(engine.ssb.peak)
 
     # ------------------------------------------------------------------
     # Conflict filtering
@@ -426,6 +551,10 @@ class BaseTMSystem:
                         # mark_spec already ran.
                         if not line.spec_read:
                             fabric.mark_spec(core, block, False)
+                            if self._cap_limited:
+                                self._check_spec_capacity(
+                                    core, block, False
+                                )
                         mode = ctx.block_mode
                         if block not in mode:
                             mode[block] = "eager"
@@ -484,6 +613,10 @@ class BaseTMSystem:
                         # together, so re-marking would be a no-op.
                         if not line.spec_written:
                             fabric.mark_spec(core, block, True)
+                            if self._cap_limited:
+                                self._check_spec_capacity(
+                                    core, block, True
+                                )
                         mode = ctx.block_mode
                         if block not in mode:
                             mode[block] = "eager"
@@ -532,6 +665,8 @@ class BaseTMSystem:
         ctx = self.ctx[core]
         if ctx.active:
             fabric.mark_spec(core, block, write)
+            if self._cap_limited:
+                self._check_spec_capacity(core, block, write)
             mode = ctx.block_mode
             if block not in mode:
                 mode[block] = "eager"
@@ -563,6 +698,8 @@ class BaseTMSystem:
         if not ctx.active:
             raise RuntimeError(f"core {core}: commit outside transaction")
         result = self._pre_commit(core)
+        if self.metrics is not None:
+            self._observe_occupancy(core)
         ctx.undo.commit()
         self.fabric.clear_spec(core)
         ctx.active = False
@@ -672,7 +809,7 @@ class RetconTMSystem(BaseTMSystem):
         self.ctx[core].block_mode[block] = "tracked"
         return outcome.latency
 
-    def _capacity_abort(self, core: int) -> None:
+    def _capacity_abort(self, core: int, exc: CapacityAbort) -> None:
         """A bounded RETCON structure overflowed: abort, and train the
         predictor down on every block this transaction tracks so the
         retry takes the eager path (otherwise a transaction whose
@@ -681,7 +818,11 @@ class RetconTMSystem(BaseTMSystem):
         engine = self._engines[core]
         for entry in engine.ivb.entries():
             engine.predictor.observe_violation(entry.block)
-        self._abort_self(core, reason="capacity")
+        self._capacity_abort_structure(
+            core,
+            exc.structure,
+            block_of(exc.addr) if exc.addr is not None else None,
+        )
 
     def _underlying_bytes(self, core: int, addr: int, size: int) -> bytes:
         """Pre-store bytes for SSB merges: initial value for tracked
@@ -703,9 +844,9 @@ class RetconTMSystem(BaseTMSystem):
         block = addr // BLOCK_SIZE
         fits = (addr + size - 1) // BLOCK_SIZE == block
         if fits:
-            entry = engine.ivb._entries.get(block)
+            entry = engine.ivb.entries_by_block.get(block)
             if entry is not None:
-                ssb_entries = engine.ssb._entries
+                ssb_entries = engine.ssb.entries_by_addr
                 if ssb_entries:
                     # Store-to-load bypass probe inline; anything more
                     # involved (overlap merges) goes through the full
@@ -728,7 +869,7 @@ class RetconTMSystem(BaseTMSystem):
 
         # A symbolic store may have gone to an untracked address; the
         # SSB is checked in parallel with the cache for every load.
-        if engine.ssb._entries and engine.has_ssb_overlap(addr, size):
+        if engine.ssb.entries_by_addr and engine.has_ssb_overlap(addr, size):
             value, sym, hit = engine.load_untracked_with_ssb(
                 addr, size, self.memory.read_bytes(addr, size)
             )
@@ -761,7 +902,7 @@ class RetconTMSystem(BaseTMSystem):
             sym = None
 
         fits = (addr + size - 1) // BLOCK_SIZE == block
-        tracked = fits and block in engine.ivb._entries
+        tracked = fits and block in engine.ivb.entries_by_block
         if not tracked and fits and block not in ctx.block_mode:
             fetch = self._try_start_tracking(core, addr, size)
             if fetch >= 0:
@@ -778,8 +919,8 @@ class RetconTMSystem(BaseTMSystem):
                     sym,
                     lambda a, s: self._underlying_bytes(core, a, s),
                 )
-            except CapacityAbort:
-                self._capacity_abort(core)
+            except CapacityAbort as exc:
+                self._capacity_abort(core, exc)
             return _STORE_HIT
 
         # Normal (eager) store.  It must not bypass older buffered
@@ -796,8 +937,8 @@ class RetconTMSystem(BaseTMSystem):
                     None,
                     lambda a, s: self._underlying_bytes(core, a, s),
                 )
-            except CapacityAbort:
-                self._capacity_abort(core)
+            except CapacityAbort as exc:
+                self._capacity_abort(core, exc)
             return _STORE_HIT
 
         return super().store(core, addr, size, value, sym=None)

@@ -92,8 +92,10 @@ def abort_attribution(
     """Abort counts keyed by ``(reason, txn label, block)``.
 
     ``block`` is the block whose conflict resolution doomed the
-    transaction when known, else ``"-"`` (capacity/constraint aborts,
-    commit-order aborts, and traces predating block attribution).
+    transaction — or, for capacity aborts, the block whose admission
+    overflowed the structure — when known, else ``"-"`` (constraint
+    aborts, commit-order aborts, and traces predating block
+    attribution).
     """
     counts: dict[tuple[str, str, object], int] = {}
     for event in events:
@@ -105,6 +107,48 @@ def abort_attribution(
         key = (reason, label, block if block is not None else "-")
         counts[key] = counts.get(key, 0) + 1
     return counts
+
+
+def capacity_attribution(
+    events: Iterable[TraceEvent],
+) -> dict[tuple[str, str], int]:
+    """Capacity-abort counts keyed by ``(structure, txn label)``.
+
+    The structure name (``read_set``, ``write_set``, ``ssb``, ...)
+    comes from the abort event's ``structure`` detail; events from
+    traces predating structure attribution land under ``"-"``.  The
+    workload x backend dimensions of the Kafousis-style attribution
+    live one level up: each trace artifact is a single (workload,
+    backend) run, so callers key their aggregation by run.
+    """
+    counts: dict[tuple[str, str], int] = {}
+    for event in events:
+        if event.kind != "abort":
+            continue
+        if event.detail.get("reason") != "capacity":
+            continue
+        structure = str(event.detail.get("structure", "-"))
+        label = str(event.detail.get("label", "-"))
+        key = (structure, label)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def capacity_breakdown(events: Iterable[TraceEvent]) -> str:
+    """ASCII table of :func:`capacity_attribution`, largest first."""
+    counts = capacity_attribution(events)
+    if not counts:
+        return "(no capacity aborts)"
+    header = f"{'aborts':>6s}  {'structure':<12s}  txn label"
+    lines = [header, "-" * len(header)]
+    ranked = sorted(
+        counts.items(), key=lambda item: (-item[1], item[0])
+    )
+    for (structure, label), n in ranked:
+        lines.append(f"{n:>6d}  {structure:<12s}  {label}")
+    total = sum(counts.values())
+    lines.append(f"{total:>6d}  total")
+    return "\n".join(lines)
 
 
 def abort_breakdown(events: Iterable[TraceEvent]) -> str:

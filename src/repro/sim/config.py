@@ -18,6 +18,14 @@ RETCON structures            16-entry initial (original) value buffer,
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.buffers import DEFAULT_IVB_ENTRIES, DEFAULT_SSB_ENTRIES
+from repro.core.constraints import DEFAULT_CONSTRAINT_ENTRIES
+
+
+def _fmt_entries(entries: Optional[int]) -> str:
+    return "unlimited" if entries is None else f"{entries}-entry"
 
 
 @dataclass(frozen=True)
@@ -44,9 +52,19 @@ class MachineConfig:
 
     # RETCON structures (paper §5.1: 16-entry original value buffer,
     # 16-entry constraint buffer, 32-entry symbolic store buffer).
-    ivb_entries: int = 16
-    constraint_entries: int = 16
-    ssb_entries: int = 32
+    # Defaults are single-sourced from the buffer modules; None means
+    # unlimited.
+    ivb_entries: Optional[int] = DEFAULT_IVB_ENTRIES
+    constraint_entries: Optional[int] = DEFAULT_CONSTRAINT_ENTRIES
+    ssb_entries: Optional[int] = DEFAULT_SSB_ENTRIES
+
+    # Speculative read/write-set bounds for the HTM backends, modeling
+    # a capacity-limited L1/signature (Kafousis-style limited-set HTM).
+    # None (the default) keeps the historical unbounded behavior; an
+    # integer bound turns overflow into a capacity abort (pure HTM
+    # serializes the retry OneTM-style; hybrids escalate to STM).
+    read_set_entries: Optional[int] = None
+    write_set_entries: Optional[int] = None
 
     # Idealized RETCON (paper §5.3 "Comparison to idealized system"):
     # unlimited structures, parallel commit-time reacquisition, free
@@ -120,9 +138,17 @@ class MachineConfig:
             ),
             (
                 "RETCON structures",
-                f"{self.ivb_entries}-entry original value buffer, "
-                f"{self.constraint_entries}-entry constraint buffer, "
-                f"{self.ssb_entries}-entry symbolic store buffer",
+                f"{_fmt_entries(self.ivb_entries)} original value "
+                "buffer, "
+                f"{_fmt_entries(self.constraint_entries)} constraint "
+                "buffer, "
+                f"{_fmt_entries(self.ssb_entries)} symbolic store "
+                "buffer",
+            ),
+            (
+                "Speculative sets",
+                f"{_fmt_entries(self.read_set_entries)} read set, "
+                f"{_fmt_entries(self.write_set_entries)} write set",
             ),
         ]
 

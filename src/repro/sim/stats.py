@@ -160,6 +160,15 @@ class MachineStats:
             self._pending_stm[core] = None
             for name in self.STM_FIELDS:
                 self._stm[name].add(getattr(stm, name))
+            if self.metrics is not None:
+                # STM commits report set occupancy from the drained
+                # sample; the TM system skips ctx.stm transactions in
+                # its own occupancy hook, so each commit lands exactly
+                # once.
+                self.metrics.observe("txn.read_set_size", stm.read_set)
+                self.metrics.observe(
+                    "txn.write_set_size", stm.write_set
+                )
 
     def record_stm_sample(self, core: int, sample: TxnStmSample) -> None:
         """Called by the STM commit protocol; paired with the

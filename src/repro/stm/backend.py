@@ -184,6 +184,11 @@ class STMMixin:
 
     hybrid = False
     pessimistic_fallback = False
+    #: capacity-aborted transactions escalate to the software slow
+    #: path (via the recorded doom reason) rather than rerunning under
+    #: OneTM overflow serialization — serializing an STM-bound retry
+    #: would needlessly conflict it against every hardware txn
+    capacity_serializes = False
 
     # ------------------------------------------------------------------
     # Setup
