@@ -437,6 +437,128 @@ def figure_capacity(
     return out
 
 
+# ---------------------------------------------------------------------------
+# Service traffic: commit/repair/abort rates + tail latency per backend
+# ---------------------------------------------------------------------------
+SERVICE_BACKENDS = ("eager", "retcon", "hybrid-retcon")
+
+
+def figure_service(
+    ncores: int = 32,
+    seed: int = 1,
+    scale: float = 1.0,
+    workloads: Sequence[str] | None = None,
+    backends: Sequence[str] = SERVICE_BACKENDS,
+    skew: float | None = None,
+    burst: str | None = None,
+    check: bool = False,
+    cache: ResultCache | None = None,
+    refresh: bool = False,
+    progress: ProgressFn | None = None,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """The service-traffic sweep: every service workload on every
+    backend, with traced runs so transaction-latency histograms and
+    the repair counter ride along.
+
+    Reports per (workload, backend): speedup over sequential, commit
+    count, abort rate, **repair rate** (commits that lost blocks and
+    committed anyway via symbolic repair — RETCON's work product on
+    the hot counters), STM fallback rate, and p50/p99 transaction
+    latency in cycles from the ``txn.duration_cycles`` histogram.
+
+    ``skew``/``burst`` override the traffic model for every workload
+    in the sweep (cache-key fields, so the overridden sweep memoizes
+    separately).  Returns ``{workload: {backend: {metric: value}}}``.
+    """
+    import time
+    from dataclasses import replace
+
+    from repro.exp.engine import run_point_with_trace
+    from repro.exp.spec import Point
+    from repro.workloads.service import SERVICE_WORKLOADS
+
+    if workloads is None:
+        workloads = SERVICE_WORKLOADS
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    done, total = 0, len(workloads) * len(backends)
+    for name in workloads:
+        for backend in backends:
+            point = Point(
+                name, backend, ncores, seed, scale,
+                check=check, skew=skew, burst=burst,
+            )
+            # A trace-cache hit needs both the result entry and the
+            # trace artifact (see run_point_with_trace); probe with
+            # the same promoted key so progress reports honestly.
+            traced = replace(point, obs="trace")
+            hit = (
+                cache is not None and not refresh
+                and cache.get(traced) is not None
+                and cache.get_artifact(traced, "trace") is not None
+            )
+            start = time.perf_counter()
+            result, _events, metrics = run_point_with_trace(
+                point, cache=cache, refresh=refresh
+            )
+            done += 1
+            if progress:
+                progress(
+                    done, total, point,
+                    "cached" if hit else "ran",
+                    0.0 if hit else time.perf_counter() - start,
+                )
+            if check and not result.check_ok:
+                raise AssertionError(
+                    f"{name}/{backend}: correctness checks failed: "
+                    f"{result.failed_invariants() or result.oracle_violations}"
+                )
+            commits = result.commits or 1
+            attempts = result.commits + result.aborts
+            latency = metrics.get("txn.duration_cycles", {}) or {}
+            out.setdefault(name, {})[backend] = {
+                "speedup": result.speedup,
+                "commits": result.commits,
+                "aborts": result.aborts,
+                "abort_rate": result.aborts / attempts if attempts else 0.0,
+                "repaired_commits": metrics.get("txn.repaired_commits", 0),
+                "repair_rate": (
+                    metrics.get("txn.repaired_commits", 0) / commits
+                ),
+                "fallback_rate": result.stm.get("fallback_rate", 0.0),
+                "p50_cycles": latency.get("p50", 0),
+                "p99_cycles": latency.get("p99", 0),
+                "mean_cycles": latency.get("mean", 0.0),
+            }
+    return out
+
+
+def format_service_traffic(
+    data: Mapping[str, Mapping[str, Mapping[str, float]]],
+) -> str:
+    """Render :func:`figure_service` output as markdown tables."""
+    lines: list[str] = []
+    for name, backends in data.items():
+        lines.append(f"### {name}")
+        lines.append("")
+        lines.append(
+            "| backend | speedup | commits | abort rate | "
+            "repair rate | stm fallback | p50 (cyc) | p99 (cyc) |"
+        )
+        lines.append("|---|---|---|---|---|---|---|---|")
+        for backend, row in backends.items():
+            lines.append(
+                f"| {backend} | {row['speedup']:.2f}x "
+                f"| {int(row['commits'])} "
+                f"| {row['abort_rate'] * 100:.0f}% "
+                f"| {row['repair_rate'] * 100:.0f}% "
+                f"| {row['fallback_rate'] * 100:.0f}% "
+                f"| {int(row['p50_cycles'])} "
+                f"| {int(row['p99_cycles'])} |"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
 def format_capacity_frontier(
     data: Mapping[str, Mapping[str, Mapping[str, Mapping[str, float]]]],
 ) -> str:

@@ -52,6 +52,8 @@ def sweep_matrix(
     ivb_entries: Capacity = None,
     constraint_entries: Capacity = None,
     ssb_entries: Capacity = None,
+    skew: float | None = None,
+    burst: str | None = None,
 ) -> dict[str, list[SweepPoint]]:
     """Run *workload* on every (system, core count) pair.
 
@@ -75,6 +77,8 @@ def sweep_matrix(
             ivb_entries=ivb_entries,
             constraint_entries=constraint_entries,
             ssb_entries=ssb_entries,
+            skew=skew,
+            burst=burst,
         )
         for ncores in core_counts
         for system in systems

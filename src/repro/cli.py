@@ -121,6 +121,30 @@ def _capacity_overrides(args) -> dict:
     }
 
 
+def _add_traffic_args(parser: argparse.ArgumentParser) -> None:
+    from repro.workloads.service.traffic import ARRIVAL_PROFILES
+
+    parser.add_argument(
+        "--skew", type=float, default=None, metavar="S",
+        help="Zipf popularity exponent for the service workloads "
+             "(default: the workload's traffic spec)",
+    )
+    parser.add_argument(
+        "--burst", default=None, choices=sorted(ARRIVAL_PROFILES),
+        help="arrival profile for the service workloads "
+             "(default: the workload's traffic spec)",
+    )
+
+
+def _traffic_overrides(args) -> dict:
+    """Point/sweep keyword overrides from the traffic flags."""
+    return {
+        name: value
+        for name in ("skew", "burst")
+        if (value := getattr(args, name, None)) is not None
+    }
+
+
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cores", type=int, default=32)
     parser.add_argument("--scale", type=float, default=1.0)
@@ -131,6 +155,7 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
              "(default: the machine config's value)",
     )
     _add_capacity_args(parser)
+    _add_traffic_args(parser)
     _add_engine_args(parser)
 
 
@@ -141,6 +166,11 @@ def _cmd_list(_args) -> int:
     print("\nTM systems: eager, eager-abort, eager-stall, lazy, "
           "lazy-vb, datm, retcon, retcon-fwd, stm, hybrid-retcon, "
           "hybrid-eager, hybrid-lazy-vb, progressive")
+    from repro.workloads.service import SERVICE_WORKLOADS
+
+    print("\nService workloads (repro figure service):")
+    for name in SERVICE_WORKLOADS:
+        print(f"  {name:18s} {WORKLOADS[name].spec.description}")
     from repro.fuzz.gen import FUZZ_PROFILES
 
     print(
@@ -201,6 +231,7 @@ def _cmd_run(args) -> int:
         check=args.check,
         retry_budget=args.retry_budget,
         **_capacity_overrides(args),
+        **_traffic_overrides(args),
     )
     result = run_points([point], **_engine_opts(args))[point]
     _print_result(result)
@@ -228,6 +259,7 @@ def _run_traced(args) -> int:
         check=args.check,
         retry_budget=args.retry_budget,
         **_capacity_overrides(args),
+        **_traffic_overrides(args),
     )
     result, events, _metrics = run_point_with_trace(
         point,
@@ -279,6 +311,7 @@ def _trace_source(args):
         scale=args.scale,
         retry_budget=getattr(args, "retry_budget", None),
         **_capacity_overrides(args),
+        **_traffic_overrides(args),
     )
     _result, events, metrics = run_point_with_trace(
         point,
@@ -540,11 +573,13 @@ def _cmd_figure(args) -> int:
         return _figure_hybrid(args, params)
     if args.number == "capacity":
         return _figure_capacity(args, params)
+    if args.number == "service":
+        return _figure_service(args, params)
     try:
         number = int(args.number)
     except ValueError:
         print(f"no such figure: {args.number} "
-              "(have 1, 2, 3, 4, 9, 10, hybrid, capacity)",
+              "(have 1, 2, 3, 4, 9, 10, hybrid, capacity, service)",
               file=sys.stderr)
         return 2
     if number == 1:
@@ -586,7 +621,7 @@ def _cmd_figure(args) -> int:
         ))
     else:
         print(f"no such figure: {number} "
-              "(have 1, 2, 3, 4, 9, 10, hybrid, capacity)",
+              "(have 1, 2, 3, 4, 9, 10, hybrid, capacity, service)",
               file=sys.stderr)
         return 2
     return 0
@@ -659,6 +694,58 @@ def _figure_capacity(args, params) -> int:
     return 0
 
 
+def _figure_service(args, params) -> int:
+    """``repro figure service``: the service-traffic sweep table.
+
+    Runs every service workload on the service backends (traced, so
+    latency histograms and the repair counter ride along) and renders
+    markdown (``-o`` writes the committed ``docs/service_traffic.md``).
+    """
+    from pathlib import Path
+
+    # Traced points run one at a time (each needs its event stream
+    # + metrics registry in-process); the engine's pool is unused.
+    params.pop("jobs", None)
+    backends = (
+        tuple(args.backends.split(","))
+        if args.backends else fig.SERVICE_BACKENDS
+    )
+    data = fig.figure_service(
+        backends=backends,
+        check=args.check,
+        **_traffic_overrides(args),
+        **params,
+    )
+    text = fig.format_service_traffic(data)
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        traffic = "".join(
+            f" --{k} {v}" for k, v in _traffic_overrides(args).items()
+        )
+        header = (
+            "# Service traffic: commit, repair, and abort rates with "
+            "tail latency\n\n"
+            "The four production-traffic service workloads "
+            "(Zipf-popular users, diurnal arrivals, hot shared "
+            f"counters) on {', '.join(backends)} at "
+            f"{args.cores} cores, scale {args.scale}, seed "
+            f"{args.seed}.  Repair rate = commits that lost blocks "
+            "to a conflicting writer and still committed via "
+            "symbolic repair; latency percentiles are "
+            "power-of-two-bucket upper bounds from the "
+            "`txn.duration_cycles` histogram.  Regenerate with:\n\n"
+            "    python -m repro figure service --cores "
+            f"{args.cores} --scale {args.scale} --seed {args.seed}"
+            f"{traffic} -o {args.output}\n\n"
+        )
+        path.write_text(header + text + "\n", encoding="utf-8")
+        print(f"wrote {path}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_table(args) -> int:
     number = args.number
     if number == 1:
@@ -719,6 +806,7 @@ def _cmd_sweep(args) -> int:
         check=args.check,
         retry_budget=args.retry_budget,
         **_capacity_overrides(args),
+        **_traffic_overrides(args),
         **_engine_opts(args),
     )
     print(format_sweep(args.workload, curves))
@@ -912,18 +1000,29 @@ def build_parser() -> argparse.ArgumentParser:
     figure = sub.add_parser(
         "figure",
         help="regenerate a paper figure (1/2/3/4/9/10), the 'hybrid' "
-             "HyTM tradeoff table, or the 'capacity' frontier table",
+             "HyTM tradeoff table, the 'capacity' frontier table, or "
+             "the 'service' traffic table",
     )
     figure.add_argument("number")
     figure.add_argument(
         "-o", "--output", default=None, metavar="PATH",
-        help="write the 'hybrid'/'capacity' markdown here instead of "
-             "stdout",
+        help="write the 'hybrid'/'capacity'/'service' markdown here "
+             "instead of stdout",
     )
     figure.add_argument(
         "--backend", default="hybrid-retcon",
         help="hybrid backend swept by 'figure hybrid' "
              "(default hybrid-retcon)",
+    )
+    figure.add_argument(
+        "--backends", default=None, metavar="A,B,...",
+        help="comma-separated backend list for 'figure service' "
+             "(default eager,retcon,hybrid-retcon)",
+    )
+    figure.add_argument(
+        "--check", action="store_true",
+        help="attach the repair oracle + golden differ to every "
+             "'figure service' point (fails on any violation)",
     )
     _add_run_args(figure)
 
@@ -971,6 +1070,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach the repair oracle + golden differ to every point",
     )
     _add_capacity_args(sweep)
+    _add_traffic_args(sweep)
     _add_engine_args(sweep)
 
     profile = sub.add_parser(

@@ -83,6 +83,8 @@ def _run_group(
         seed=first.seed,
         scale=first.scale,
         config=config,
+        skew=first.skew,
+        burst=first.burst,
     )
     baseline_seconds = time.perf_counter() - start
     out = []

@@ -79,6 +79,14 @@ class Point:
     ivb_entries: Capacity = None
     constraint_entries: Capacity = None
     ssb_entries: Capacity = None
+    #: traffic-model overrides for the service workloads: Zipf skew
+    #: exponent and arrival-profile name (see
+    #: repro.workloads.service.traffic).  None keeps the workload's
+    #: default.  Cache-key and baseline-key fields — they change the
+    #: generated workload, so a skew sweep is a sweep of distinct
+    #: points with distinct baselines.
+    skew: Optional[float] = None
+    burst: Optional[str] = None
 
     def resolved_config(self) -> MachineConfig:
         """The machine configuration this point actually runs with."""
@@ -105,6 +113,8 @@ class Point:
             self.seed,
             self.scale,
             self.resolved_config(),
+            self.skew,
+            self.burst,
         )
 
     def spec_dict(self) -> dict:
@@ -121,6 +131,8 @@ class Point:
             "check": self.check,
             "tag": self.tag,
             "obs": self.obs,
+            "skew": self.skew,
+            "burst": self.burst,
         }
 
     def label(self) -> str:
@@ -139,6 +151,10 @@ class Point:
             value = getattr(self, name)
             if value is not None:
                 extras += f" {_CAPACITY_SHORT[name]}={value}"
+        if self.skew is not None:
+            extras += f" skew={self.skew}"
+        if self.burst is not None:
+            extras += f" burst={self.burst}"
         return (
             f"{self.workload}/{self.system} ncores={self.ncores} "
             f"seed={self.seed} scale={self.scale}{extras}"
@@ -193,6 +209,9 @@ class ExperimentSpec:
     ivb_entries: Capacity = None
     constraint_entries: Capacity = None
     ssb_entries: Capacity = None
+    #: traffic-model overrides propagated to every point (see Point)
+    skew: Optional[float] = None
+    burst: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Tolerate lists/generators from callers; store tuples so the
@@ -221,6 +240,8 @@ class ExperimentSpec:
                 ivb_entries=self.ivb_entries,
                 constraint_entries=self.constraint_entries,
                 ssb_entries=self.ssb_entries,
+                skew=self.skew,
+                burst=self.burst,
             )
             for workload in self.workloads
             for ncores in self.core_counts

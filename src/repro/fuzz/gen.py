@@ -87,6 +87,18 @@ BRANCHY_KINDS = (
     (G_STORE, 5),
 )
 
+#: hot-counter service shape: RMW-dominated with guard branches and
+#: private tallies (see the "fuzz-service" profile)
+SERVICE_KINDS = (
+    (G_RMW, 45),
+    (G_NESTED_RMW, 10),
+    (G_BRANCH, 15),
+    (G_LOAD, 10),
+    (G_PRIV_ACCUM, 10),
+    (G_PRIV_STORE, 5),
+    (G_WORK, 5),
+)
+
 
 @dataclass(frozen=True)
 class GeneratorConfig:
@@ -136,6 +148,18 @@ FUZZ_PROFILES: dict[str, GeneratorConfig] = {
         kind_weights=BRANCHY_KINDS,
         shared_slots=6,
         zipf_skew=1.4,
+    ),
+    # Service-backend shape (the traffic the service workloads model):
+    # heavily Zipf-skewed hot shared counters hammered by RMW chains,
+    # with branch-guarded updates (rate limits, sell-out checks) and
+    # private tallies riding along.  Not in the CLI default profile
+    # list — CI's fuzz smoke batch stays at 210 programs.
+    "fuzz-service": GeneratorConfig(
+        kind_weights=SERVICE_KINDS,
+        shared_slots=8,
+        zipf_skew=1.6,
+        txns_per_thread=5,
+        max_genes=8,
     ),
 }
 

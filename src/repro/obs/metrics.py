@@ -238,6 +238,46 @@ class MetricsRegistry:
         return "\n".join(lines) if lines else "(no metrics recorded)"
 
 
+def validate_latency_histogram(snapshot: dict, name: str = "") -> None:
+    """Raise ``ValueError`` unless *snapshot* is a structurally valid
+    :meth:`Histogram.snapshot` dict (the form persisted inside trace
+    artifacts and consumed by the service-traffic figure).
+
+    Checks the shape CI's service-smoke job schema-validates: every
+    summary field present with the right type, internally consistent
+    (``min <= max``, ``p50 <= p99``, ``mean == total/count``), and
+    non-negative.  ``p99`` may exceed ``max`` — percentiles report the
+    upper bound of their power-of-two bucket, not the sample.
+    """
+
+    def fail(message: str) -> None:
+        where = f" {name!r}" if name else ""
+        raise ValueError(f"invalid latency histogram{where}: {message}")
+
+    if not isinstance(snapshot, dict):
+        fail(f"expected a snapshot dict, got {type(snapshot).__name__}")
+    for key in ("count", "total", "min", "max", "p50", "p99"):
+        value = snapshot.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail(f"{key!r} must be an integer, got {value!r}")
+        if value < 0:
+            fail(f"{key!r} must be non-negative, got {value}")
+    mean = snapshot.get("mean")
+    if not isinstance(mean, (int, float)) or isinstance(mean, bool):
+        fail(f"'mean' must be a number, got {mean!r}")
+    count, total = snapshot["count"], snapshot["total"]
+    if count == 0:
+        if total or snapshot["max"] or mean:
+            fail("count is 0 but totals are non-zero")
+        return
+    if snapshot["min"] > snapshot["max"]:
+        fail(f"min {snapshot['min']} > max {snapshot['max']}")
+    if snapshot["p50"] > snapshot["p99"]:
+        fail(f"p50 {snapshot['p50']} > p99 {snapshot['p99']}")
+    if abs(mean - total / count) > 1e-9:
+        fail(f"mean {mean} != total/count {total / count}")
+
+
 def render_snapshot(snapshot: dict) -> str:
     """ASCII rendering of a :meth:`MetricsRegistry.snapshot` dict (the
     form persisted inside trace artifacts — scalars for counters and

@@ -116,7 +116,14 @@ class WorkloadResult:
             commits=data["commits"],
             aborts=data["aborts"],
             aborts_by_reason=dict(data["aborts_by_reason"]),
-            breakdown=dict(data["breakdown"]),
+            # The cache stores JSON with sort_keys=True; restore the
+            # canonical busy/conflict/barrier/other order so cached
+            # and live results render identically.
+            breakdown={
+                k: data["breakdown"][k]
+                for k in ("busy", "conflict", "barrier", "other")
+                if k in data["breakdown"]
+            },
             table3={
                 k: tuple(v) for k, v in data["table3"].items()
             },
@@ -136,6 +143,31 @@ class WorkloadResult:
             golden=data.get("golden"),
             stm=dict(data.get("stm", ())),
         )
+
+
+def _resolve_workload(
+    name: str,
+    skew: Optional[float] = None,
+    burst: Optional[str] = None,
+):
+    """Look up *name*, applying traffic overrides when given.
+
+    ``skew``/``burst`` reshape the workload's
+    :class:`~repro.workloads.service.traffic.TrafficModel`; only the
+    service workloads have one, so passing either for any other
+    workload is a spec error, not a silent no-op.
+    """
+    workload = get_workload(name)
+    if skew is None and burst is None:
+        return workload
+    from repro.workloads.service.base import ServiceWorkload
+
+    if not isinstance(workload, ServiceWorkload):
+        raise ValueError(
+            f"workload {name!r} has no traffic model; skew/burst "
+            "overrides only apply to the service workloads"
+        )
+    return workload.with_traffic(skew=skew, burst=burst)
 
 
 def run_sequential(
@@ -166,6 +198,8 @@ def run_workload(
     golden: bool = False,
     tracer=None,
     metrics=None,
+    skew: Optional[float] = None,
+    burst: Optional[str] = None,
 ) -> WorkloadResult:
     """Simulate *name* on *system* and compare against sequential.
 
@@ -180,10 +214,14 @@ def run_workload(
     (:mod:`repro.check.golden`); ``tracer`` attaches a
     :class:`repro.obs.events.EventStream` to the TM system; ``metrics``
     attaches a :class:`repro.obs.metrics.MetricsRegistry`.
+
+    ``skew``/``burst`` override the traffic model of a service
+    workload (error for workloads without one; ignored when
+    ``generated`` is supplied, since generation already happened).
     """
     config = (config or MachineConfig()).with_cores(ncores)
     if generated is None:
-        generated = get_workload(name).generate(
+        generated = _resolve_workload(name, skew=skew, burst=burst).generate(
             ncores, seed=seed, scale=scale
         )
 
@@ -263,9 +301,13 @@ def generate_and_baseline(
     seed: int = 1,
     scale: float = 1.0,
     config: Optional[MachineConfig] = None,
+    skew: Optional[float] = None,
+    burst: Optional[str] = None,
 ) -> tuple[GeneratedWorkload, int]:
     """Generate once and measure the sequential baseline (for sweeps)."""
     config = (config or MachineConfig()).with_cores(ncores)
-    generated = get_workload(name).generate(ncores, seed=seed, scale=scale)
+    generated = _resolve_workload(name, skew=skew, burst=burst).generate(
+        ncores, seed=seed, scale=scale
+    )
     seq = run_sequential(generated, config)
     return generated, seq.cycles

@@ -155,6 +155,12 @@ class MachineStats:
             self._pending_retcon[core] = None
             for name in self.RETCON_FIELDS:
                 self._retcon[name].add(getattr(sample, name))
+            if self.metrics is not None and sample.blocks_lost > 0:
+                # A commit that lost blocks and still committed went
+                # through symbolic repair — the service figure's
+                # repair-rate numerator.  Metrics-only: WorkloadResult
+                # stays byte-identical to the golden stats fixtures.
+                self.metrics.inc("txn.repaired_commits")
         stm = self._pending_stm[core]
         if stm is not None:
             self._pending_stm[core] = None

@@ -10,6 +10,12 @@ from repro.workloads.intruder import IntruderWorkload
 from repro.workloads.kmeans import KmeansWorkload
 from repro.workloads.labyrinth import LabyrinthWorkload
 from repro.workloads.python_interp import PythonWorkload
+from repro.workloads.service import (
+    CheckoutWorkload,
+    FeedFanoutWorkload,
+    RateLimiterWorkload,
+    SessionStoreWorkload,
+)
 from repro.workloads.ssca2 import Ssca2Workload
 from repro.workloads.vacation import VacationWorkload
 from repro.workloads.yada import YadaWorkload
@@ -33,9 +39,18 @@ def _build_registry() -> dict[str, Workload]:
         PythonWorkload(optimized=False),
         PythonWorkload(optimized=True),
     ]
-    # Fuzz profiles ride along so generated programs flow through the
-    # engine/CLI like any workload; they are deliberately NOT part of
-    # ALL_VARIANTS (figures and tables are Table 2 only).
+    # The service suite and fuzz profiles ride along so they flow
+    # through the engine/CLI like any workload; both are deliberately
+    # NOT part of ALL_VARIANTS (figures and tables are Table 2 only —
+    # the service suite has its own sweep, 'repro figure service').
+    workloads.extend(
+        [
+            SessionStoreWorkload(),
+            RateLimiterWorkload(),
+            FeedFanoutWorkload(),
+            CheckoutWorkload(),
+        ]
+    )
     workloads.extend(fuzz_workloads())
     return {w.spec.name: w for w in workloads}
 

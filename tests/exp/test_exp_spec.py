@@ -131,3 +131,73 @@ class TestRetryBudget:
         )
         assert point.resolved_config().retry_budget == 0
         assert "rb=0" in point.label()
+
+
+class TestTrafficOverrides:
+    """The service-traffic knobs (skew, burst) must be cache-key
+    material: two points differing only in traffic shape run different
+    workload bytes, so they can never share a cached result or a
+    sequential baseline."""
+
+    def test_skew_changes_the_point_key(self):
+        from repro.exp.spec import point_key
+
+        base = Point(workload="service-limiter", system="retcon")
+        swept = Point(
+            workload="service-limiter", system="retcon", skew=1.6
+        )
+        assert point_key(base) != point_key(swept)
+        assert point_key(swept) != point_key(
+            Point(workload="service-limiter", system="retcon", skew=2.0)
+        )
+
+    def test_burst_changes_the_point_key(self):
+        from repro.exp.spec import point_key
+
+        base = Point(workload="service-session", system="eager")
+        swept = Point(
+            workload="service-session", system="eager", burst="bursty"
+        )
+        assert point_key(base) != point_key(swept)
+
+    def test_traffic_enters_the_baseline_key(self):
+        """The sequential baseline is regenerated per traffic shape —
+        a skewed stream has different work than the default one."""
+        base = Point(workload="service-feed", system="retcon")
+        swept = Point(
+            workload="service-feed", system="retcon",
+            skew=1.6, burst="steady",
+        )
+        assert base.baseline_key() != swept.baseline_key()
+        # ...but the baseline is shared across systems at equal traffic
+        other = Point(
+            workload="service-feed", system="eager",
+            skew=1.6, burst="steady",
+        )
+        assert swept.baseline_key() == other.baseline_key()
+
+    def test_traffic_shows_in_the_label(self):
+        point = Point(
+            workload="service-checkout", system="retcon",
+            skew=1.6, burst="bursty",
+        )
+        assert "skew=1.6" in point.label()
+        assert "burst=bursty" in point.label()
+        plain = Point(workload="service-checkout", system="retcon")
+        assert "skew=" not in plain.label()
+        assert "burst=" not in plain.label()
+
+    def test_spec_propagates_traffic_to_every_point(self):
+        spec = ExperimentSpec(
+            name="svc",
+            workloads=("service-limiter",),
+            systems=("eager", "retcon"),
+            core_counts=(2, 4),
+            seeds=(1,),
+            skew=1.6,
+            burst="steady",
+        )
+        points = spec.points()
+        assert points
+        assert all(p.skew == 1.6 for p in points)
+        assert all(p.burst == "steady" for p in points)

@@ -1,0 +1,128 @@
+"""Service-workload invariants under every conflict-resolution family.
+
+Each backend workload encodes a real correctness property of the
+service it models, checked through the full pipeline: the workload's
+own invariant closures, the sequential oracle, and the PR 2 golden
+differ (serial replay of the committed transaction order must land on
+byte-identical final memory):
+
+* session store  — a slot's expiry only ever moves forward (TTL
+  monotonicity), stale sessions are all evicted;
+* rate limiter   — tokens are conserved: accepted grants equal the
+  bucket totals, accepted + rejected equals offered;
+* feed fan-out   — every delivered event is counted exactly once:
+  sum(feed counters) == delivered counter;
+* checkout       — stock never goes negative and every unit that left
+  the shelf is an order.
+
+RETCON's value-level repair is exactly the machinery these properties
+stress: hot counters repaired at commit must still satisfy global
+conservation, and branch-guarded decrements (checkout's sold-out
+check, the limiter's cap) must pin their constraints or abort.
+"""
+
+import pytest
+
+from repro.sim.runner import run_workload
+from repro.workloads.service import SERVICE_WORKLOADS
+
+#: one representative per conflict-resolution family: pure HTM abort,
+#: commit-time repair, and repair with STM escalation under capacity.
+SYSTEMS = ("eager", "retcon", "hybrid-retcon")
+
+
+@pytest.mark.parametrize("name", SERVICE_WORKLOADS)
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_invariants_oracle_and_golden(name, system):
+    result = run_workload(
+        name, system, ncores=4, seed=3, scale=0.3,
+        oracle=True, golden=True,
+    )
+    assert result.commits > 0
+    failed = result.failed_invariants()
+    assert not failed, failed
+    assert result.check_ok, (
+        f"{name} on {system}: oracle/golden divergence"
+    )
+
+
+@pytest.mark.parametrize("name", SERVICE_WORKLOADS)
+def test_invariants_independent_of_core_count(name):
+    """The properties are order-independent by construction: any
+    interleaving the simulator commits must satisfy them, so core
+    count must not matter."""
+    for ncores in (1, 6):
+        result = run_workload(
+            name, "retcon", ncores=ncores, seed=5, scale=0.25,
+        )
+        failed = result.failed_invariants()
+        assert not failed, (ncores, failed)
+
+
+def _invariant(result, name):
+    by_name = {inv.name: inv for inv in result.invariants}
+    assert name in by_name, (
+        f"invariant {name!r} missing; have {sorted(by_name)}"
+    )
+    return by_name[name]
+
+
+def test_session_ttl_is_max_fold():
+    """TTL monotonicity, stated directly: the final expiry of every
+    live slot equals the *maximum* deadline any touch proposed for it,
+    regardless of commit order."""
+    result = run_workload(
+        "service-session", "retcon", ncores=4, seed=7, scale=0.4,
+    )
+    inv = _invariant(result, "session-ttl")
+    assert inv.ok, inv.detail
+    assert _invariant(result, "session-evict").ok
+
+
+def test_limiter_never_overshoots_cap():
+    """Token conservation's sharp edge: every bucket lands on exactly
+    ``min(limit, attempts)`` — it may never exceed the configured
+    limit, even when repair re-executes the increment."""
+    result = run_workload(
+        "service-limiter", "retcon", ncores=6, seed=9, scale=0.6,
+    )
+    inv = _invariant(result, "limiter-buckets")
+    assert inv.ok, inv.detail
+    assert _invariant(result, "limiter-conservation").ok
+
+
+def test_checkout_stock_floor_is_exact():
+    """Stock never negative — and not merely clamped after the fact:
+    the branch-guarded decrement must stop exactly at zero, i.e.
+    final stock is ``max(0, initial - attempts)``."""
+    result = run_workload(
+        "service-checkout", "retcon", ncores=6, seed=11, scale=0.8,
+    )
+    inv = _invariant(result, "checkout-stock")
+    assert inv.ok, inv.detail
+    assert _invariant(result, "checkout-orders").ok
+
+
+def test_feed_delivery_is_conserved():
+    """Fan-out conservation: the per-feed counters sum to the shared
+    delivered counter exactly — every event counted once."""
+    result = run_workload(
+        "service-feed", "retcon", ncores=4, seed=13, scale=0.5,
+    )
+    inv = _invariant(result, "feed-delivered")
+    assert inv.ok, inv.detail
+    assert _invariant(result, "feed-counters").ok
+
+
+def test_repair_engages_on_service_traffic():
+    """The suite exists to exercise repair: under contention the
+    retcon backend must abort far less than eager on the hot-counter
+    workloads (the paper's Figure 5 shape, at test scale)."""
+    eager = run_workload(
+        "service-limiter", "eager", ncores=8, seed=3, scale=0.8,
+    )
+    retcon = run_workload(
+        "service-limiter", "retcon", ncores=8, seed=3, scale=0.8,
+    )
+    assert retcon.aborts < eager.aborts / 2
+    assert retcon.cycles < eager.cycles

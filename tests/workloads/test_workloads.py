@@ -21,10 +21,45 @@ class TestRegistry:
         with pytest.raises(ValueError, match="unknown workload"):
             get_workload("quicksort")
 
+    def test_unknown_workload_error_names_the_request(self):
+        """The error path must echo the bad name so a CLI typo is
+        diagnosable from the message alone."""
+        with pytest.raises(ValueError, match="memcached"):
+            get_workload("memcached")
+
     def test_specs_have_descriptions(self):
         for name, workload in WORKLOADS.items():
             assert workload.spec.name == name
             assert workload.spec.description
+
+    def test_service_suite_registered_but_not_a_variant(self):
+        """Every workload class the service package exports is
+        registered under its spec name, and none of them leak into
+        ALL_VARIANTS (Table 2 figures stay Table 2)."""
+        import repro.workloads.service as service
+        from repro.workloads.service import SERVICE_WORKLOADS
+
+        assert set(SERVICE_WORKLOADS) <= set(WORKLOADS)
+        assert not set(SERVICE_WORKLOADS) & set(ALL_VARIANTS)
+        exported_classes = [
+            getattr(service, name)
+            for name in service.__all__
+            if name.endswith("Workload")
+            and name != "ServiceWorkload"
+        ]
+        assert len(exported_classes) == len(SERVICE_WORKLOADS)
+        for cls in exported_classes:
+            registered = WORKLOADS[cls().spec.name]
+            assert isinstance(registered, cls)
+
+    def test_service_workloads_resolve_by_name(self):
+        from repro.workloads.service import (
+            SERVICE_WORKLOADS,
+            ServiceWorkload,
+        )
+
+        for name in SERVICE_WORKLOADS:
+            assert isinstance(get_workload(name), ServiceWorkload)
 
 
 class TestGeneration:
