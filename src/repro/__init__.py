@@ -54,7 +54,7 @@ SYSTEMS = (
 )
 """Names of the transactional-memory system variants that can be simulated."""
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "MachineConfig",

@@ -465,12 +465,16 @@ def _cmd_fuzz(args) -> int:
     ``--smoke`` runs the fixed CI batch (210 programs: seeds 0..69 on
     each of 3 profiles across eager/lazy-vb/retcon); ``--minutes N``
     fuzzes fresh seeds (resuming past the ``.repro-fuzz/`` corpus)
-    until the time budget runs out; the default is one batch of
-    ``--seeds`` new seeds per profile.
+    until the time budget runs out, checked per seed; the default is
+    one batch of ``--seeds`` new seeds per profile.  ``--campaign ID``
+    journals every batch and verdict to an append-only audit log under
+    the corpus, and ``--campaign ID --resume`` continues an
+    interrupted campaign without re-screening any verdicted seed.
     """
     from pathlib import Path
 
     from repro.fuzz.campaign import (
+        CampaignError,
         CampaignOptions,
         run_campaign,
         smoke_options,
@@ -485,6 +489,9 @@ def _cmd_fuzz(args) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.resume and not args.campaign:
+        print("--resume requires --campaign <id>", file=sys.stderr)
+        return 2
     backends = tuple(
         dict.fromkeys(
             tuple(args.backends) + tuple(args.extra_backends or ())
@@ -511,6 +518,9 @@ def _cmd_fuzz(args) -> int:
         fault=args.fault,
         config=config,
         corpus_root=Path(args.corpus),
+        campaign=args.campaign,
+        resume=args.resume,
+        schedule=not args.no_schedule,
     )
     if args.smoke:
         opts = smoke_options(**common)
@@ -521,8 +531,17 @@ def _cmd_fuzz(args) -> int:
             minutes=args.minutes,
             **common,
         )
-    report = run_campaign(opts)
+    try:
+        report = run_campaign(opts)
+    except CampaignError as exc:
+        print(f"fuzz: {exc}", file=sys.stderr)
+        return 2
     print(report.summary())
+    for profile, seed, detail in report.engine_failures:
+        print(
+            f"  engine check failed: profile={profile} seed={seed}: "
+            f"{detail}"
+        )
     for profile, seed in report.diverging:
         print(f"  diverging: profile={profile} seed={seed}")
     for line in report.shrink_summaries:
@@ -1161,6 +1180,24 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--corpus", default=".repro-fuzz",
         help="corpus directory (default .repro-fuzz)",
+    )
+    fuzz.add_argument(
+        "--campaign", default=None, metavar="ID",
+        help="journal every batch and verdict to an append-only "
+             "audit log (<corpus>/journals/ID.jsonl); required for "
+             "--resume",
+    )
+    fuzz.add_argument(
+        "--resume", action="store_true",
+        help="continue the named --campaign from its journal: "
+             "verdicted seeds are never re-screened, the interrupted "
+             "batch tail runs first",
+    )
+    fuzz.add_argument(
+        "--no-schedule", action="store_true",
+        help="uniform per-profile seed budgets instead of the "
+             "coverage-guided (divergence-weighted, epsilon-greedy) "
+             "scheduler used for --minutes campaigns",
     )
     _add_capacity_args(fuzz)
     _add_engine_args(fuzz)

@@ -18,6 +18,11 @@ simulator is fully deterministic given the point spec.
 
 ``jobs`` resolution: explicit argument > ``$REPRO_JOBS`` >
 ``os.cpu_count()``.
+
+:func:`run_tasks` is the point-free sibling: it fans an arbitrary
+picklable worker over the same process pool with deadline-aware
+dispatch, and exists for engine users whose unit of work is not a
+:class:`Point` (the fuzz campaign's deep phase).
 """
 
 from __future__ import annotations
@@ -143,6 +148,70 @@ def _pool_context():
     return multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn"
     )
+
+
+def run_tasks(
+    items: Iterable,
+    worker: Callable,
+    jobs: Optional[int] = None,
+    stop: Optional[Callable[[], bool]] = None,
+):
+    """Fan ``worker(item)`` out across the process pool; yield
+    ``(index, item, result)`` tuples as tasks complete.
+
+    The engine side-door for work whose unit is not a :class:`Point`
+    — the fuzz campaign's deep phase feeds ``run_case`` tasks through
+    here.  ``worker`` must be picklable (a module-level function or a
+    ``functools.partial`` of one), as must every item and result.
+
+    ``stop``, if given, is consulted before *each* dispatch: once it
+    returns True no further items are submitted, in-flight items
+    finish cleanly, and their results are still yielded — so callers
+    can enforce a time budget at item granularity instead of batch
+    granularity.  With ``jobs=1`` (or a single item) everything runs
+    in-process; the worker being deterministic makes the two paths
+    yield identical results, differing only in completion order.
+    """
+    items = list(items)
+    njobs = min(resolve_jobs(jobs), max(len(items), 1))
+    if njobs <= 1 or len(items) <= 1:
+        for index, item in enumerate(items):
+            if stop is not None and stop():
+                return
+            yield index, item, worker(item)
+        return
+
+    from concurrent.futures import (
+        FIRST_COMPLETED,
+        ProcessPoolExecutor,
+        wait,
+    )
+
+    _ensure_child_importable()
+    ctx = _pool_context()
+    with ProcessPoolExecutor(max_workers=njobs, mp_context=ctx) as pool:
+        queue = iter(enumerate(items))
+        in_flight: dict = {}
+
+        def submit_one() -> bool:
+            if stop is not None and stop():
+                return False
+            try:
+                index, item = next(queue)
+            except StopIteration:
+                return False
+            in_flight[pool.submit(worker, item)] = (index, item)
+            return True
+
+        for _ in range(njobs):
+            if not submit_one():
+                break
+        while in_flight:
+            ready, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in ready:
+                index, item = in_flight.pop(future)
+                submit_one()
+                yield index, item, future.result()
 
 
 def run_points(

@@ -5,7 +5,8 @@ Only the generator layer is imported eagerly — the workload registry
 pulls :mod:`repro.fuzz.workload` in at import time, and importing the
 executor/campaign layers here would cycle back through
 ``sim.runner``/``exp``.  Import :mod:`repro.fuzz.diff`,
-:mod:`repro.fuzz.shrink`, :mod:`repro.fuzz.corpus`, and
+:mod:`repro.fuzz.shrink`, :mod:`repro.fuzz.corpus`,
+:mod:`repro.fuzz.journal`, :mod:`repro.fuzz.schedule`, and
 :mod:`repro.fuzz.campaign` directly.
 """
 

@@ -7,14 +7,35 @@ A campaign screens a seed range for each profile in two phases:
   profile's generator-config hash as the cache-key tag.  This buys the
   heavy simulation work multiprocess fan-out and ``.repro-cache/``
   result caching for free, and screens the oracle, golden-invariant,
-  and workload-invariant signals.
+  and workload-invariant signals.  Check failures land in
+  ``CampaignReport.engine_failures`` and fail the campaign on their
+  own — the deep phase does not have to reproduce them.
 * **deep phase** — each (profile, seed) that is not already recorded
-  clean in the ``.repro-fuzz/`` corpus re-runs in-process through
-  :func:`repro.fuzz.diff.run_case`, adding the signals the engine
-  cannot see: commit-order serializability replay, strict golden
-  memory equality (commutative profiles), and traced stats sanity.
-  Clean verdicts are recorded in the corpus so the next campaign only
-  pays for new seeds.
+  clean in the ``.repro-fuzz/`` corpus runs through
+  :func:`repro.fuzz.diff.run_case`, fanned out across the experiment
+  engine's process pool (:func:`repro.exp.engine.run_tasks`; the
+  sequential ``--jobs 1`` path yields bit-identical verdicts), adding
+  the signals the engine cannot see: commit-order serializability
+  replay, strict golden memory equality (commutative profiles), and
+  traced stats sanity.  Clean verdicts are recorded in the corpus so
+  the next campaign only pays for new seeds.
+
+Standing campaigns add two pieces on top:
+
+* ``--campaign <id>`` journals every batch issued and verdict reached
+  to an append-only JSONL audit log
+  (:mod:`repro.fuzz.journal`); ``--campaign <id> --resume`` replays
+  the journal, re-screens zero already-verdicted seeds, and picks up
+  the interrupted batch tail first.  The corpus flushes only at batch
+  boundaries; the journal is the write-ahead log that makes that
+  transactional.
+* under ``--minutes``, the per-batch seed budget is split across
+  profiles by :class:`repro.fuzz.schedule.GeneScheduler` — weighted
+  by which (backend, signal) pairs each profile has historically
+  diverged on, with an epsilon-greedy floor so no profile starves.
+  The ``--minutes`` deadline is enforced before the engine phase and
+  before *each* deep-phase seed (the in-flight seed finishes
+  cleanly), not just between whole batches.
 
 On divergence the campaign saves the full case to the corpus, runs
 the ddmin shrinker, emits a regression test under
@@ -27,16 +48,19 @@ from __future__ import annotations
 
 import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from functools import partial
 from pathlib import Path
 from typing import Optional
 
 from repro.exp.cache import ResultCache
-from repro.exp.engine import run_points, stderr_progress
+from repro.exp.engine import run_points, run_tasks, stderr_progress
 from repro.exp.spec import ExperimentSpec
 from repro.fuzz.corpus import Corpus
 from repro.fuzz.diff import DEFAULT_BACKENDS, run_case
 from repro.fuzz.gen import FUZZ_PROFILES, config_hash, generate_case
+from repro.fuzz.journal import CampaignError, CampaignJournal
+from repro.fuzz.schedule import DEFAULT_EPSILON, GeneScheduler
 from repro.fuzz.shrink import (
     REGRESSION_DIR,
     divergence_predicate,
@@ -44,6 +68,14 @@ from repro.fuzz.shrink import (
     shrink_case,
 )
 from repro.sim.config import MachineConfig
+
+__all__ = [
+    "CampaignError",
+    "CampaignOptions",
+    "CampaignReport",
+    "run_campaign",
+    "smoke_options",
+]
 
 #: seeds per profile in one --smoke run: 3 profiles x 70 = 210
 #: programs (the ISSUE acceptance floor is 200 across >= 3 backends)
@@ -78,6 +110,14 @@ class CampaignOptions:
     corpus_root: Path = Path(".repro-fuzz")
     regression_dir: Path = REGRESSION_DIR
     quiet: bool = False
+    #: journaled-campaign id (None: unjournaled one-shot run)
+    campaign: Optional[str] = None
+    #: continue the named campaign from its journal
+    resume: bool = False
+    #: coverage-guided per-batch budget allocation (--minutes runs)
+    schedule: bool = True
+    #: exploration share of each scheduled batch
+    epsilon: float = DEFAULT_EPSILON
 
 
 @dataclass
@@ -86,25 +126,38 @@ class CampaignReport:
 
     programs: int = 0
     skipped_clean: int = 0
+    #: verdicts restored from the journal on --resume (not re-screened)
+    restored: int = 0
+    batches: int = 0
     diverging: list = field(default_factory=list)  # (profile, seed)
     divergences: list = field(default_factory=list)
+    #: engine-phase check failures: (profile, seed, detail)
+    engine_failures: list = field(default_factory=list)
     emitted: list = field(default_factory=list)  # Paths
     shrink_summaries: list = field(default_factory=list)
     elapsed: float = 0.0
 
     @property
     def ok(self) -> bool:
-        return not self.diverging
+        return not self.diverging and not self.engine_failures
 
     def summary(self) -> str:
-        verdict = (
-            "all clean"
-            if self.ok
-            else f"{len(self.diverging)} diverging cases"
+        problems = []
+        if self.diverging:
+            problems.append(f"{len(self.diverging)} diverging cases")
+        if self.engine_failures:
+            problems.append(
+                f"{len(self.engine_failures)} engine check failures"
+            )
+        verdict = "all clean" if not problems else ", ".join(problems)
+        restored = (
+            f", {self.restored} restored from journal"
+            if self.restored
+            else ""
         )
         return (
             f"fuzz: {self.programs} programs screened "
-            f"({self.skipped_clean} already clean in corpus), "
+            f"({self.skipped_clean} already clean in corpus{restored}), "
             f"{verdict}, {self.elapsed:.1f}s"
         )
 
@@ -112,6 +165,27 @@ class CampaignReport:
 def _say(opts: CampaignOptions, message: str) -> None:
     if not opts.quiet:
         print(message, file=sys.stderr, flush=True)
+
+
+def _fingerprint(opts: CampaignOptions) -> dict:
+    """The correctness-affecting options a resume must match.
+
+    Resource knobs (jobs, minutes, batch seeds) may change between
+    resumes; anything that changes what a verdict *means* may not.
+    Round-tripped through JSON so it compares equal to a journal read.
+    """
+    import json
+
+    raw = {
+        "profiles": sorted(opts.profiles),
+        "backends": sorted(opts.backends),
+        "nthreads": opts.nthreads,
+        "seed_start": opts.seed_start,
+        "fault": opts.fault,
+        "fault_seed": opts.fault_seed,
+        "config": asdict(opts.config) if opts.config is not None else None,
+    }
+    return json.loads(json.dumps(raw, sort_keys=True, default=list))
 
 
 def _seed_range(
@@ -169,62 +243,134 @@ def _engine_phase(
     return failures
 
 
+@dataclass(frozen=True)
+class _DeepSettings:
+    """The picklable slice of CampaignOptions a deep-phase worker needs."""
+
+    backends: tuple
+    nthreads: int
+    fault: Optional[str]
+    fault_seed: int
+    config: Optional[MachineConfig]
+
+
+def _deep_worker(settings: _DeepSettings, task: tuple):
+    """Pool task: expand one (profile, seed) and differentially run it."""
+    profile, seed = task
+    case = generate_case(
+        seed,
+        FUZZ_PROFILES[profile],
+        nthreads=settings.nthreads,
+        origin=profile,
+    )
+    return run_case(
+        case,
+        backends=settings.backends,
+        fault=settings.fault,
+        fault_seed=settings.fault_seed,
+        config=settings.config,
+    )
+
+
 def _deep_phase(
     opts: CampaignOptions,
     corpus: Corpus,
     batches: dict[str, list[int]],
     report: CampaignReport,
+    journal: Optional[CampaignJournal] = None,
+    deadline: Optional[float] = None,
 ) -> None:
-    """Differentially execute every non-clean seed; handle divergences."""
+    """Differentially execute every non-clean seed; handle divergences.
+
+    Fans :func:`repro.fuzz.diff.run_case` out through the experiment
+    engine's process pool (``opts.jobs``); verdicts are journaled and
+    recorded into the corpus in completion order (the corpus file is
+    key-sorted, so the final state is order-independent), then
+    divergences are triaged in deterministic (profile, seed) order.
+    A ``deadline`` stops dispatch per seed — in-flight seeds finish
+    cleanly and unrun seeds stay pending in the journal for a resume.
+    """
+    # Corpus clean verdicts are keyed by the generator config only,
+    # so campaigns with a fault or machine-config override neither
+    # trust nor record them.
+    plain = opts.fault is None and opts.config is None
+    tasks: list[tuple[str, int]] = []
     for profile, seeds in batches.items():
         config = FUZZ_PROFILES[profile]
         for seed in seeds:
-            # Corpus clean verdicts are keyed by the generator config
-            # only, so campaigns with a machine-config override (like
-            # fault exercises) neither trust nor record them.
-            plain = opts.fault is None and opts.config is None
             if plain and corpus.is_clean(
                 config, seed, opts.backends, opts.nthreads
             ):
                 report.skipped_clean += 1
+                if journal is not None:
+                    journal.verdict(
+                        profile,
+                        seed,
+                        True,
+                        opts.nthreads,
+                        opts.backends,
+                        source="corpus",
+                    )
                 continue
-            case = generate_case(
-                seed, config, nthreads=opts.nthreads, origin=profile
+            tasks.append((profile, seed))
+
+    settings = _DeepSettings(
+        backends=tuple(opts.backends),
+        nthreads=opts.nthreads,
+        fault=opts.fault,
+        fault_seed=opts.fault_seed,
+        config=opts.config,
+    )
+    stop = (
+        None
+        if deadline is None
+        else (lambda: time.perf_counter() >= deadline)
+    )
+    outcomes = []
+    for _index, task, outcome in run_tasks(
+        tasks, partial(_deep_worker, settings), jobs=opts.jobs, stop=stop
+    ):
+        profile, seed = task
+        report.programs += 1
+        if plain:
+            corpus.record(
+                FUZZ_PROFILES[profile],
+                seed,
+                outcome.ok,
+                opts.backends,
+                opts.nthreads,
+                divergences=outcome.divergences,
             )
-            outcome = run_case(
-                case,
-                backends=opts.backends,
-                fault=opts.fault,
-                fault_seed=opts.fault_seed,
-                config=opts.config,
+        if journal is not None:
+            journal.verdict(
+                profile,
+                seed,
+                outcome.ok,
+                opts.nthreads,
+                opts.backends,
+                divergences=outcome.divergences,
             )
-            report.programs += 1
-            if plain:
-                corpus.record(
-                    config,
-                    seed,
-                    outcome.ok,
-                    opts.backends,
-                    opts.nthreads,
-                    divergences=outcome.divergences,
-                )
-            if outcome.ok:
-                continue
-            report.diverging.append((profile, seed))
-            report.divergences.extend(outcome.divergences)
-            _say(opts, f"DIVERGENCE {profile} seed={seed}")
-            for div in outcome.divergences:
-                _say(opts, f"  {div}")
-            _say(
-                opts,
-                f"  reproduce: repro fuzz --profiles {profile} "
-                f"--seed-start {seed} --seeds 1 --backends "
-                f"{' '.join(opts.backends)}"
-                + (f" --fault {opts.fault}" if opts.fault else ""),
-            )
-            corpus.save_diverging(case, outcome.divergences)
-            if opts.shrink:
-                _handle_shrink(opts, case, report)
+        if not outcome.ok:
+            outcomes.append((profile, seed, outcome))
+
+    for profile, seed, outcome in sorted(
+        outcomes, key=lambda entry: (entry[0], entry[1])
+    ):
+        report.diverging.append((profile, seed))
+        report.divergences.extend(outcome.divergences)
+        _say(opts, f"DIVERGENCE {profile} seed={seed}")
+        for div in outcome.divergences:
+            _say(opts, f"  {div}")
+        _say(
+            opts,
+            f"  reproduce: repro fuzz --profiles {profile} "
+            f"--seed-start {seed} --seeds 1 --backends "
+            f"{' '.join(opts.backends)}"
+            + (f" --fault {opts.fault}" if opts.fault else ""),
+        )
+        corpus.save_diverging(outcome.case, outcome.divergences)
+        if opts.shrink:
+            _handle_shrink(opts, outcome.case, report)
 
 
 def _handle_shrink(
@@ -260,11 +406,57 @@ def _handle_shrink(
         _say(opts, f"  regression written: {path}")
 
 
+def _open_journal(
+    opts: CampaignOptions, corpus: Corpus, report: CampaignReport
+) -> tuple[Optional[CampaignJournal], dict]:
+    """Create or resume the campaign journal; returns (journal, carry).
+
+    On resume, journaled verdicts are replayed into the corpus (the
+    journal is the write-ahead log; an interrupt may have landed
+    between a verdict and the corpus flush) and the issued-but-
+    unverdicted seeds of the interrupted batch come back as ``carry``
+    — the first batch the resumed campaign runs.
+    """
+    if opts.resume and not opts.campaign:
+        raise CampaignError("--resume requires --campaign <id>")
+    if not opts.campaign:
+        return None, {}
+    journal = CampaignJournal(opts.corpus_root, opts.campaign)
+    fingerprint = _fingerprint(opts)
+    if not opts.resume:
+        if journal.exists():
+            raise CampaignError(
+                f"campaign {opts.campaign!r} already has a journal at "
+                f"{journal.path}; pass --resume to continue it"
+            )
+        journal.begin(fingerprint)
+        return journal, {}
+    journal.resume_check(fingerprint)
+    plain = opts.fault is None and opts.config is None
+    for verdict in journal.verdicts():
+        report.restored += 1
+        if plain and verdict.get("source") != "corpus":
+            corpus.record(
+                FUZZ_PROFILES[verdict["profile"]],
+                verdict["seed"],
+                verdict["ok"],
+                tuple(verdict.get("backends", opts.backends)),
+                verdict.get("nthreads", opts.nthreads),
+                divergences=verdict.get("divergences"),
+            )
+    corpus.flush()
+    return journal, journal.pending()
+
+
 def run_campaign(opts: CampaignOptions) -> CampaignReport:
     """Run one fuzz campaign (one seed range, or --minutes batches)."""
     started = time.perf_counter()
     corpus = Corpus(opts.corpus_root)
     report = CampaignReport()
+    plain = opts.fault is None and opts.config is None
+
+    journal, carry = _open_journal(opts, corpus, report)
+    done = journal.verdicted() if journal is not None else set()
 
     deadline = (
         started + opts.minutes * 60.0
@@ -272,14 +464,55 @@ def run_campaign(opts: CampaignOptions) -> CampaignReport:
         else None
     )
     batch_size = opts.seeds if deadline is None else BATCH_SEEDS
+    scheduler = None
+    if (
+        opts.schedule
+        and plain
+        and opts.seed_start is None
+        and len(opts.profiles) > 1
+    ):
+        scheduler = GeneScheduler(
+            corpus, opts.profiles, epsilon=opts.epsilon
+        )
+    batch_index = journal.batches_done() if journal is not None else 0
+
     first = True
-    while first or (
+    while first or carry or (
         deadline is not None and time.perf_counter() < deadline
     ):
-        batches = {
-            profile: _seed_range(opts, corpus, profile, batch_size)
-            for profile in opts.profiles
-        }
+        first = False
+        if carry:
+            batches = carry
+            carry = {}
+        else:
+            if scheduler is not None:
+                allocation = scheduler.allocate(
+                    batch_size * len(opts.profiles)
+                )
+            else:
+                allocation = {
+                    profile: batch_size for profile in opts.profiles
+                }
+            batches = {
+                profile: _seed_range(opts, corpus, profile, count)
+                for profile, count in allocation.items()
+                if count > 0
+            }
+        if done:
+            batches = {
+                profile: [s for s in seeds if (profile, s) not in done]
+                for profile, seeds in batches.items()
+            }
+        batches = {p: seeds for p, seeds in batches.items() if seeds}
+        if not batches:
+            break
+        # Deadline check *before* the engine phase: a batch's engine +
+        # deep work can take many minutes, so never start one past the
+        # budget (the journal keeps unstarted seeds pending).
+        if deadline is not None and time.perf_counter() >= deadline:
+            break
+        if journal is not None:
+            journal.batch(batch_index, batches)
         for profile, seeds in batches.items():
             _say(
                 opts,
@@ -297,20 +530,29 @@ def run_campaign(opts: CampaignOptions) -> CampaignReport:
                 opts,
                 f"ENGINE CHECK FAILED {profile} seed={seed}: {detail}",
             )
-        _deep_phase(opts, corpus, batches, report)
+            if journal is not None:
+                journal.engine_failure(profile, seed, detail)
+        report.engine_failures.extend(engine_failures)
+        _deep_phase(
+            opts, corpus, batches, report,
+            journal=journal, deadline=deadline,
+        )
         corpus.flush()
-        if (
-            opts.seed_start is not None
-            or opts.fault is not None
-            or opts.config is not None
-        ):
+        report.batches += 1
+        if journal is not None:
+            if deadline is None or time.perf_counter() < deadline:
+                journal.batch_done(batch_index)
+            done = journal.verdicted()
+        batch_index += 1
+        if opts.seed_start is not None or not plain:
             # fixed ranges (and fault/config exercises, which skip
             # the corpus) don't advance; one pass only
             break
-        first = False
         if deadline is None:
             break
     report.elapsed = time.perf_counter() - started
+    if journal is not None:
+        journal.close()
     return report
 
 

@@ -2,11 +2,15 @@
 
 One JSON file per generator configuration, named by
 :func:`repro.fuzz.gen.config_hash`, records every seed the
-differential executor has already screened — with the backends it was
-screened against — so repeated campaigns only pay for new seeds.
-Entries are scoped to ``repro.__version__``: a version bump discards
-the file (the simulator changed, prior verdicts are stale), mirroring
-the experiment engine's cache-key policy.
+differential executor has already screened — per thread count, with
+the backends it was screened against — so repeated campaigns only pay
+for new seeds.  A seed entry holds one verdict per ``nthreads``
+(``{"4": {...}, "8": {...}}``): alternating thread counts accumulate
+instead of clobbering each other, and re-recording a clean verdict
+unions its backends into the existing one.  Entries are scoped to
+``repro.__version__``: a version bump discards the file (the
+simulator changed, prior verdicts are stale), mirroring the
+experiment engine's cache-key policy.
 
 Diverging cases are additionally saved whole (gene lists, not just
 seeds) under ``diverging/`` so a divergence survives generator
@@ -66,11 +70,11 @@ class Corpus:
         """True if *seed* already screened clean against (at least)
         *backends* at this thread count."""
         entry = self._entries(config)["seeds"].get(str(seed))
+        verdict = entry.get(str(nthreads)) if entry else None
         return bool(
-            entry
-            and entry.get("ok")
-            and entry.get("nthreads") == nthreads
-            and set(backends) <= set(entry.get("backends", ()))
+            verdict
+            and verdict.get("ok")
+            and set(backends) <= set(verdict.get("backends", ()))
         )
 
     def record(
@@ -82,15 +86,29 @@ class Corpus:
         nthreads: int,
         divergences: Optional[list] = None,
     ) -> None:
+        """Record one verdict, keyed per thread count.
+
+        Verdicts at other thread counts are untouched — a seed
+        screened clean at ``nthreads=4`` survives an ``nthreads=8``
+        campaign.  Re-recording a clean verdict at the same thread
+        count unions the backend sets (each backend's differential
+        signals are independent of the others in the run), so
+        screening ``eager`` then ``stm`` accumulates into one verdict
+        clean for both.
+        """
         cfg = config_hash(config)
-        entry = {
-            "ok": ok,
-            "backends": sorted(backends),
-            "nthreads": nthreads,
-        }
+        entry = self._entries(config)["seeds"].setdefault(str(seed), {})
+        prior = entry.get(str(nthreads))
+        merged = set(backends)
+        if ok and prior and prior.get("ok"):
+            merged |= set(prior.get("backends", ()))
+        verdict: dict = {"ok": ok, "backends": sorted(merged)}
         if divergences:
-            entry["divergences"] = [d.to_dict() for d in divergences]
-        self._entries(config)["seeds"][str(seed)] = entry
+            verdict["divergences"] = [
+                d if isinstance(d, dict) else d.to_dict()
+                for d in divergences
+            ]
+        entry[str(nthreads)] = verdict
         self._dirty.add(cfg)
 
     def next_seed(self, config: GeneratorConfig) -> int:
@@ -100,6 +118,33 @@ class Corpus:
 
     def screened(self, config: GeneratorConfig) -> int:
         return len(self._entries(config)["seeds"])
+
+    def profile_stats(self, config: GeneratorConfig) -> dict:
+        """Aggregate screening stats for the campaign scheduler.
+
+        Returns ``{"screened": n, "diverging": n, "signals":
+        {(backend, kind): count}}`` — the (backend, signal) divergence
+        histogram :class:`repro.fuzz.schedule.GeneScheduler` weights
+        profile budgets by.
+        """
+        signals: dict[tuple, int] = {}
+        diverging = 0
+        seeds = self._entries(config)["seeds"]
+        for entry in seeds.values():
+            bad = False
+            for verdict in entry.values():
+                if verdict.get("ok"):
+                    continue
+                bad = True
+                for div in verdict.get("divergences", ()):
+                    key = (div.get("backend"), div.get("kind"))
+                    signals[key] = signals.get(key, 0) + 1
+            diverging += 1 if bad else 0
+        return {
+            "screened": len(seeds),
+            "diverging": diverging,
+            "signals": signals,
+        }
 
     # ------------------------------------------------------------------
     def save_diverging(self, case: FuzzCase, divergences: list) -> Path:

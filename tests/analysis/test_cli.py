@@ -56,6 +56,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["metrics", "figure2"])
 
+    def test_fuzz_campaign_flags(self):
+        args = build_parser().parse_args(["fuzz", "--smoke"])
+        assert args.campaign is None
+        assert args.resume is False
+        assert args.no_schedule is False
+        args = build_parser().parse_args(
+            ["fuzz", "--minutes", "30", "--campaign", "nightly-1",
+             "--resume", "--no-schedule"]
+        )
+        assert args.campaign == "nightly-1"
+        assert args.resume and args.no_schedule
+        assert args.minutes == 30.0
+
+    def test_fuzz_resume_requires_campaign(self, capsys):
+        assert main(["fuzz", "--smoke", "--resume"]) == 2
+        assert "--campaign" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_list(self, capsys):

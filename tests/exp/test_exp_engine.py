@@ -10,6 +10,7 @@ from repro.exp.engine import (
     run_matrix,
     run_points,
     run_spec,
+    run_tasks,
 )
 from repro.exp.spec import ExperimentSpec, Point
 from repro.sim.runner import run_workload
@@ -146,6 +147,39 @@ class TestRunMatrix:
             matrix[("kmeans", "eager")].seq_cycles
             == matrix[("kmeans", "retcon")].seq_cycles
         )
+
+
+def _square(value: int) -> int:
+    """Module-level worker: run_tasks pool tasks must be picklable."""
+    return value * value
+
+
+class TestRunTasks:
+    def test_serial_yields_all_in_input_order(self):
+        out = list(run_tasks(range(5), _square, jobs=1))
+        assert out == [(i, i, i * i) for i in range(5)]
+
+    def test_parallel_matches_serial(self):
+        serial = sorted(run_tasks(range(8), _square, jobs=1))
+        parallel = sorted(run_tasks(range(8), _square, jobs=4))
+        assert parallel == serial
+
+    def test_stop_halts_further_dispatch(self):
+        """Once stop() trips, in-flight work finishes and nothing new
+        starts — the deep-fuzz per-seed deadline contract."""
+        results = []
+        for _index, _item, result in run_tasks(
+            range(100), _square, jobs=1, stop=lambda: len(results) >= 3
+        ):
+            results.append(result)
+        assert results == [0, 1, 4]
+
+    def test_stop_true_runs_nothing(self):
+        assert list(run_tasks(range(5), _square, jobs=1,
+                              stop=lambda: True)) == []
+
+    def test_empty_items(self):
+        assert list(run_tasks([], _square, jobs=4)) == []
 
 
 class TestResolveJobs:

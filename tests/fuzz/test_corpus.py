@@ -36,9 +36,9 @@ class TestRecordAndReload:
         data = json.loads(
             (tmp_path / "corpus" / f"{config_hash(CFG)}.json").read_text()
         )
-        entry = data["seeds"]["5"]
-        assert not entry["ok"]
-        assert entry["divergences"][0]["kind"] == "golden"
+        verdict = data["seeds"]["5"]["4"]
+        assert not verdict["ok"]
+        assert verdict["divergences"][0]["kind"] == "golden"
 
 
 class TestIsClean:
@@ -67,6 +67,83 @@ class TestIsClean:
         corpus.record(CFG, 1, True, BACKENDS, 4)
         other = FUZZ_PROFILES["fuzz-mixed"]
         assert not corpus.is_clean(other, 1, BACKENDS, 4)
+
+
+class TestVerdictMerge:
+    """Re-recording must accumulate, not clobber (PR 10 bugfix)."""
+
+    def test_nthreads_4_then_8_keeps_both(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        corpus.record(CFG, 1, True, BACKENDS, 4)
+        corpus.record(CFG, 1, True, BACKENDS, 8)
+        assert corpus.is_clean(CFG, 1, BACKENDS, 4)
+        assert corpus.is_clean(CFG, 1, BACKENDS, 8)
+
+    def test_nthreads_8_then_4_keeps_both(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        corpus.record(CFG, 1, True, BACKENDS, 8)
+        corpus.record(CFG, 1, True, BACKENDS, 4)
+        assert corpus.is_clean(CFG, 1, BACKENDS, 8)
+        assert corpus.is_clean(CFG, 1, BACKENDS, 4)
+
+    def test_merge_survives_flush_and_reload(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        corpus.record(CFG, 1, True, BACKENDS, 4)
+        corpus.flush()
+        again = Corpus(tmp_path)
+        again.record(CFG, 1, True, BACKENDS, 8)
+        again.flush()
+        fresh = Corpus(tmp_path)
+        assert fresh.is_clean(CFG, 1, BACKENDS, 4)
+        assert fresh.is_clean(CFG, 1, BACKENDS, 8)
+
+    def test_backends_union_on_clean_rerecord(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        corpus.record(CFG, 1, True, ("eager",), 4)
+        corpus.record(CFG, 1, True, ("stm",), 4)
+        assert corpus.is_clean(CFG, 1, ("eager", "stm"), 4)
+
+    def test_diverging_rerecord_replaces_not_unions(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        corpus.record(CFG, 1, True, ("eager",), 4)
+        corpus.record(
+            CFG, 1, False, ("retcon",), 4,
+            divergences=[Divergence("stats", "retcon", "bad")],
+        )
+        assert not corpus.is_clean(CFG, 1, ("eager",), 4)
+        assert not corpus.is_clean(CFG, 1, ("retcon",), 4)
+
+    def test_other_nthreads_survive_a_diverging_verdict(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        corpus.record(CFG, 1, True, BACKENDS, 4)
+        corpus.record(CFG, 1, False, BACKENDS, 8)
+        assert corpus.is_clean(CFG, 1, BACKENDS, 4)
+        assert not corpus.is_clean(CFG, 1, BACKENDS, 8)
+
+
+class TestProfileStats:
+    def test_empty_corpus(self, tmp_path):
+        stats = Corpus(tmp_path).profile_stats(CFG)
+        assert stats == {"screened": 0, "diverging": 0, "signals": {}}
+
+    def test_signal_histogram(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        corpus.record(CFG, 1, True, BACKENDS, 4)
+        corpus.record(
+            CFG, 2, False, BACKENDS, 4,
+            divergences=[
+                Divergence("oracle", "retcon", "a"),
+                Divergence("oracle", "retcon", "b"),
+                Divergence("stats", "stm", "c"),
+            ],
+        )
+        stats = corpus.profile_stats(CFG)
+        assert stats["screened"] == 2
+        assert stats["diverging"] == 1
+        assert stats["signals"] == {
+            ("retcon", "oracle"): 2,
+            ("stm", "stats"): 1,
+        }
 
 
 class TestResume:

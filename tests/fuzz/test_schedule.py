@@ -1,0 +1,107 @@
+"""Coverage-guided scheduler: determinism, weighting, starvation floor."""
+
+import pytest
+
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.diff import Divergence
+from repro.fuzz.gen import FUZZ_PROFILES
+from repro.fuzz.schedule import GeneScheduler
+
+PROFILES = ("fuzz-mixed", "fuzz-rmw", "fuzz-branchy")
+
+
+def _scheduler(tmp_path, **kwargs):
+    return GeneScheduler(Corpus(tmp_path), PROFILES, **kwargs)
+
+
+def _record_divergence(corpus, profile, seed, kind="oracle",
+                       backend="retcon"):
+    corpus.record(
+        FUZZ_PROFILES[profile], seed, False, (backend,), 4,
+        divergences=[Divergence(kind, backend, "boom")],
+    )
+
+
+class TestAllocation:
+    def test_sums_to_budget(self, tmp_path):
+        counts = _scheduler(tmp_path).allocate(75)
+        assert sum(counts.values()) == 75
+
+    def test_uniform_on_empty_corpus(self, tmp_path):
+        assert _scheduler(tmp_path).allocate(75) == {
+            p: 25 for p in PROFILES
+        }
+
+    def test_zero_budget(self, tmp_path):
+        assert _scheduler(tmp_path).allocate(0) == {
+            p: 0 for p in PROFILES
+        }
+
+    def test_diverging_profile_wins_budget(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        _record_divergence(corpus, "fuzz-branchy", 5)
+        sched = GeneScheduler(corpus, PROFILES)
+        counts = sched.allocate(75)
+        assert counts["fuzz-branchy"] > counts["fuzz-mixed"]
+        assert counts["fuzz-branchy"] > counts["fuzz-rmw"]
+        assert sum(counts.values()) == 75
+
+    def test_epsilon_floor_prevents_starvation(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        for seed in range(50):
+            _record_divergence(corpus, "fuzz-branchy", seed)
+        counts = GeneScheduler(corpus, PROFILES).allocate(75)
+        assert all(count >= 1 for count in counts.values())
+
+    def test_distinct_signal_pairs_outweigh_repeats(self, tmp_path):
+        """Breadth over mass: two (backend, signal) pairs beat many
+        repeats of one pair."""
+        corpus = Corpus(tmp_path)
+        for seed in range(8):
+            _record_divergence(corpus, "fuzz-mixed", seed,
+                               kind="golden", backend="retcon")
+        _record_divergence(corpus, "fuzz-rmw", 0,
+                           kind="oracle", backend="retcon")
+        _record_divergence(corpus, "fuzz-rmw", 1,
+                           kind="stats", backend="stm")
+        weights = GeneScheduler(corpus, PROFILES).weights()
+        assert weights["fuzz-rmw"] > weights["fuzz-mixed"]
+
+
+class TestDeterminism:
+    def test_same_corpus_same_allocation(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        _record_divergence(corpus, "fuzz-branchy", 5)
+        _record_divergence(corpus, "fuzz-mixed", 9, kind="stats")
+        first = GeneScheduler(corpus, PROFILES).allocate(75)
+        second = GeneScheduler(corpus, PROFILES).allocate(75)
+        assert first == second
+
+    def test_weight_update_is_deterministic(self, tmp_path):
+        """Recording the same verdicts in two corpora yields identical
+        weights and allocations (no RNG anywhere in scheduling)."""
+        allocations = []
+        for name in ("a", "b"):
+            corpus = Corpus(tmp_path / name)
+            _record_divergence(corpus, "fuzz-branchy", 5)
+            _record_divergence(corpus, "fuzz-branchy", 6, kind="stats",
+                               backend="stm")
+            sched = GeneScheduler(corpus, PROFILES)
+            allocations.append((sched.weights(), sched.allocate(100)))
+        assert allocations[0] == allocations[1]
+
+    def test_weights_grow_with_new_divergences(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        sched = GeneScheduler(corpus, PROFILES)
+        before = sched.weights()["fuzz-branchy"]
+        _record_divergence(corpus, "fuzz-branchy", 5)
+        mid = sched.weights()["fuzz-branchy"]
+        _record_divergence(corpus, "fuzz-branchy", 6, kind="stats")
+        after = sched.weights()["fuzz-branchy"]
+        assert before < mid < after
+
+
+class TestValidation:
+    def test_unknown_profile_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown fuzz profiles"):
+            GeneScheduler(Corpus(tmp_path), ("no-such-profile",))
